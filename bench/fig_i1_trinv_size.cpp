@@ -1,0 +1,35 @@
+// Fig I.1 -- Inversion of a lower triangular matrix: measured efficiency
+// as a function of the problem size, for the four algorithmic variants
+// (block size fixed to 96, single backend = "system A").
+//
+// Expected shape (paper): the variants separate clearly; variant 4 is
+// significantly slower than the rest across all sizes.
+
+#include "support/bench_util.hpp"
+
+int main() {
+  using namespace dlap;
+  using namespace dlap::bench;
+  const Scales sc = current_scales();
+  const std::string backend = system_a();
+
+  print_comment("Fig I.1: trinv efficiency vs matrix size n (blocksize " +
+                std::to_string(sc.blocksize) + ", backend " + backend + ")");
+  print_comment("efficiency = trinv_flops(n) / (ticks * fips), fips " +
+                std::to_string(machine_info().flops_per_tick));
+  print_header({"n", "variant1", "variant2", "variant3", "variant4"});
+
+  const index_t step = sc.paper ? 64 : 32;
+  for (index_t n = step; n <= sc.sweep_max; n += step) {
+    std::vector<double> eff;
+    for (int v = 1; v <= kTrinvVariantCount; ++v) {
+      const double ticks =
+          measure_trinv_ticks(backend, v, n, sc.blocksize, sc.reps);
+      eff.push_back(trinv_efficiency(n, ticks));
+    }
+    print_row(static_cast<double>(n), eff);
+  }
+
+  print_comment("shape check: variant 4 should be slowest at the largest n");
+  return 0;
+}

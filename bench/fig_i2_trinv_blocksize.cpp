@@ -1,0 +1,29 @@
+// Fig I.2 -- Inversion of a lower triangular matrix: measured efficiency
+// as a function of the block size b at fixed matrix size.
+//
+// Expected shape (paper): efficiency drops for very small and very large
+// block sizes; variants 1-3 peak near b ~ 100.
+
+#include "support/bench_util.hpp"
+
+int main() {
+  using namespace dlap;
+  using namespace dlap::bench;
+  const Scales sc = current_scales();
+  const std::string backend = system_a();
+  const index_t n = sc.trinv_fixed_n;
+
+  print_comment("Fig I.2: trinv efficiency vs blocksize b (n = " +
+                std::to_string(n) + ", backend " + backend + ")");
+  print_header({"b", "variant1", "variant2", "variant3", "variant4"});
+
+  for (index_t b = 8; b <= sc.bsweep_max; b += 8) {
+    std::vector<double> eff;
+    for (int v = 1; v <= kTrinvVariantCount; ++v) {
+      const double ticks = measure_trinv_ticks(backend, v, n, b, sc.reps);
+      eff.push_back(trinv_efficiency(n, ticks));
+    }
+    print_row(static_cast<double>(b), eff);
+  }
+  return 0;
+}

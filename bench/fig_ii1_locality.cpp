@@ -1,0 +1,115 @@
+// Fig II.1 -- Repeated execution of dtrsm with in-cache and out-of-cache
+// operands, for all three backend "libraries"; also reports the
+// first-invocation initialization outlier and the run-to-run fluctuation
+// the paper quantifies at ~8% (Section II-B).
+//
+// Expected shape: in-cache ticks <= out-of-cache ticks for every backend
+// (the gap widens for bandwidth-bound shapes); the first cold invocation
+// is slower than the steady state for backends with lazy initialization.
+
+#include <algorithm>
+#include <memory>
+
+#include "support/bench_util.hpp"
+
+int main() {
+  using namespace dlap;
+  using namespace dlap::bench;
+  const Scales sc = current_scales();
+
+  // The paper's call: B <- 0.37 * B * A^{-1}, A 128x128 lower triangular
+  // (ldA 256), B 512x128 (ldB 512).
+  const KernelCall paper_call =
+      parse_call("dtrsm(R,L,N,U,512,128,0.37,A,256,B,512)");
+
+  // First-call outlier: must be measured before anything else runs a
+  // kernel in this process (lazy initialization -- packing buffers --
+  // happens exactly once per library, like the BLAS init the paper sees).
+  print_comment("Fig II.1: repeated dtrsm, in-cache vs out-of-cache");
+  print_comment("call: " + format_call(paper_call));
+  print_comment("first-call outlier (cold library) vs steady-state median:");
+  for (const std::string& backend : library_backends()) {
+    SamplerConfig cold;
+    cold.include_first_call = true;
+    cold.reps = 10;
+    auto fresh = make_backend(backend);
+    Sampler sampler(*fresh, cold);
+    const std::vector<double> raw = sampler.measure_raw(paper_call);
+    const double first = raw.front();
+    std::vector<double> rest(raw.begin() + 1, raw.end());
+    const double steady = summarize(rest).median;
+    print_comment("  " + backend + ": first/steady = " +
+                  std::to_string(first / steady));
+  }
+
+  const index_t reps = sc.paper ? 200 : 50;
+  print_header({"rep", "naive_in", "naive_out", "blocked_in", "blocked_out",
+                "packed_in", "packed_out"});
+  // The six series are interleaved rep-by-rep so that slow machine drift
+  // (frequency ramps, noisy-neighbor interference on shared vCPUs) hits
+  // all of them equally instead of biasing whichever ran first.
+  std::vector<std::unique_ptr<Sampler>> samplers;
+  for (const std::string& backend : library_backends()) {
+    for (const Locality loc : {Locality::InCache, Locality::OutOfCache}) {
+      SamplerConfig cfg;
+      cfg.locality = loc;
+      cfg.reps = 1;
+      samplers.push_back(
+          std::make_unique<Sampler>(backend_instance(backend), cfg));
+    }
+  }
+  std::vector<std::vector<double>> series(samplers.size());
+  for (index_t r = 0; r < reps; ++r) {
+    std::vector<double> row;
+    for (std::size_t s = 0; s < samplers.size(); ++s) {
+      const double t = samplers[s]->measure_raw(paper_call).front();
+      series[s].push_back(t);
+      row.push_back(t);
+    }
+    print_row(static_cast<double>(r), row);
+  }
+  print_comment("per-series medians (in/out pairs per backend):");
+  for (std::size_t s = 0; s < series.size(); s += 2) {
+    const double in_med = summarize(series[s]).median;
+    const double out_med = summarize(series[s + 1]).median;
+    print_comment("  " + library_backends()[s / 2] + ": in " +
+                  std::to_string(in_med) + "  out " +
+                  std::to_string(out_med) + "  out/in " +
+                  std::to_string(out_med / in_med));
+  }
+
+  // Fluctuation: relative spread of the in-cache series (median-based so
+  // single OS-jitter outliers do not dominate).
+  print_comment("in-cache fluctuation (stddev/median, median-of-runs):");
+  std::size_t idx = 0;
+  for (const std::string& backend : library_backends()) {
+    const SampleStats st = summarize(series[idx]);
+    idx += 2;
+    print_comment("  " + backend + ": " +
+                  std::to_string(100.0 * st.stddev / st.median) + " %");
+  }
+
+  // Locality gap on a bandwidth-bound shape: a short-and-wide solve does
+  // only ~2 flops per byte of B, so the data transfers the out-of-cache
+  // scenario pays are visible (the paper's Harpertown shows the same gap
+  // on its compute-dense call because its memory was relatively slower).
+  const KernelCall bw_call =
+      parse_call("dtrsm(R,L,N,U,4096,16,1,A,16,B,4096)");
+  print_comment("bandwidth-bound call: " + format_call(bw_call));
+  print_header({"backend", "in_cache_med", "out_cache_med", "out/in"});
+  int b_idx = 0;
+  for (const std::string& backend : library_backends()) {
+    double med[2];
+    for (const Locality loc : {Locality::InCache, Locality::OutOfCache}) {
+      SamplerConfig cfg;
+      cfg.locality = loc;
+      cfg.reps = std::max<index_t>(9, sc.reps);
+      Sampler sampler(backend_instance(backend), cfg);
+      med[loc == Locality::OutOfCache] = sampler.measure(bw_call).median;
+    }
+    std::printf("  %14s", backend.c_str());
+    print_row({med[0], med[1], med[1] / med[0]});
+    ++b_idx;
+  }
+  return 0;
+}

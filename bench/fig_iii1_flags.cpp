@@ -1,0 +1,57 @@
+// Fig III.1 -- dtrsm: ticks as a function of the discrete (flag)
+// arguments, all 16 combinations of side/uplo/transA/diag, for the three
+// backends; the remaining arguments fixed as in the paper (m = n = 256,
+// alpha = 0.5, ldA = ldB = 256).
+//
+// Expected shape (paper): no clean pattern relating flag values across
+// implementations, except that diag has only a minor impact -- the reason
+// models key on flag combinations but may share diag.
+
+#include "support/bench_util.hpp"
+
+int main() {
+  using namespace dlap;
+  using namespace dlap::bench;
+  const Scales sc = current_scales();
+  const index_t n = sc.paper ? 256 : 192;
+
+  print_comment("Fig III.1: dtrsm ticks for all flag combinations, m=n=" +
+                std::to_string(n));
+  print_header({"flags(SULD)", "naive", "blocked", "packed"});
+
+  double max_diag_impact = 0.0;
+  for (const char side : {'L', 'R'}) {
+    for (const char uplo : {'L', 'U'}) {
+      for (const char trans : {'N', 'T'}) {
+        std::vector<double> with_diag[2];
+        for (const char diag : {'N', 'U'}) {
+          KernelCall call;
+          call.routine = RoutineId::Trsm;
+          call.flags = {side, uplo, trans, diag};
+          call.sizes = {n, n};
+          call.scalars = {0.5};
+          call.leads = {n, n};
+
+          std::vector<double> row;
+          for (const std::string& backend : library_backends()) {
+            SamplerConfig cfg;
+            cfg.reps = sc.reps;
+            Sampler sampler(backend_instance(backend), cfg);
+            row.push_back(sampler.measure(call).median);
+          }
+          with_diag[diag == 'U'] = row;
+          std::printf("  %c%c%c%c          ", side, uplo, trans, diag);
+          print_row(row);
+        }
+        for (std::size_t i = 0; i < with_diag[0].size(); ++i) {
+          max_diag_impact = std::max(
+              max_diag_impact, std::abs(with_diag[0][i] - with_diag[1][i]) /
+                                   with_diag[0][i]);
+        }
+      }
+    }
+  }
+  print_comment("max relative impact of the diag flag: " +
+                std::to_string(100.0 * max_diag_impact) + " %");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fig III.2 -- dgemm: ticks as a function of the size argument
+// (m = n = k = ld, multiples of 8), for the three backends.
+//
+// Expected shape: cubic growth with implementation-specific jumps/kinks at
+// blocking boundaries -- the structure that defeats single-polynomial
+// models (see fig_iii3).
+
+#include "support/bench_util.hpp"
+
+int main() {
+  using namespace dlap;
+  using namespace dlap::bench;
+  const Scales sc = current_scales();
+
+  print_comment("Fig III.2: dgemm ticks vs n (square, ld = n)");
+  print_header({"n", "naive", "blocked", "packed"});
+
+  for (index_t n = 8; n <= sc.sweep_max; n += sc.sweep_step) {
+    KernelCall call;
+    call.routine = RoutineId::Gemm;
+    call.flags = {'N', 'N'};
+    call.sizes = {n, n, n};
+    call.scalars = {1.0, 1.0};
+    call.leads = {n, n, n};
+
+    std::vector<double> row;
+    for (const std::string& backend : library_backends()) {
+      SamplerConfig cfg;
+      cfg.reps = sc.reps;
+      Sampler sampler(backend_instance(backend), cfg);
+      row.push_back(sampler.measure(call).median);
+    }
+    print_row(static_cast<double>(n), row);
+  }
+  return 0;
+}

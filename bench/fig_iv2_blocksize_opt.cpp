@@ -1,0 +1,54 @@
+// Fig IV.2 -- block-size optimization for trinv: predictions and
+// measurements as the block size varies at fixed matrix size.
+//
+// Expected shape: predictions capture the behavior around the most
+// efficient block sizes; the predicted optimum block size matches (or
+// sits within one grid step of) the measured optimum for each variant.
+
+#include "predict/ranking.hpp"
+#include "support/bench_util.hpp"
+
+int main() {
+  using namespace dlap;
+  using namespace dlap::bench;
+  const Scales sc = current_scales();
+  const std::string backend = system_a();
+  const index_t n = sc.trinv_fixed_n;
+
+  const ModelSet models = trinv_model_set(backend, Locality::InCache, sc);
+  const Predictor pred(models);
+
+  print_comment("Fig IV.2: block-size optimization for trinv at n = " +
+                std::to_string(n) + ", backend " + backend);
+  print_header({"b", "meas_v1", "meas_v2", "meas_v3", "meas_v4",
+                "pred_v1", "pred_v2", "pred_v3", "pred_v4"});
+
+  std::vector<index_t> bs;
+  std::vector<std::vector<double>> meas(kTrinvVariantCount),
+      predicted(kTrinvVariantCount);
+  for (index_t b = 16; b <= sc.bsweep_max; b += 16) {
+    bs.push_back(b);
+    std::vector<double> row;
+    for (int v = 1; v <= kTrinvVariantCount; ++v) {
+      const double mt = measure_trinv_ticks(backend, v, n, b, sc.reps);
+      meas[v - 1].push_back(mt);
+      row.push_back(trinv_efficiency(n, mt));
+    }
+    for (int v = 1; v <= kTrinvVariantCount; ++v) {
+      const double pt = pred.predict(trace_trinv(v, n, b)).ticks.median;
+      predicted[v - 1].push_back(pt);
+      row.push_back(trinv_efficiency(n, pt));
+    }
+    print_row(static_cast<double>(b), row);
+  }
+
+  print_comment("optimal block size, measured vs predicted:");
+  for (int v = 0; v < kTrinvVariantCount; ++v) {
+    const index_t mb = bs[rank_order(meas[v])[0]];
+    const index_t pb = bs[rank_order(predicted[v])[0]];
+    print_comment("  variant " + std::to_string(v + 1) + ": measured b* = " +
+                  std::to_string(mb) + ", predicted b* = " +
+                  std::to_string(pb));
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig IV.3 -- trinv predictions and observations on a second system.
+// The paper moves from Harpertown to Sandy Bridge and regenerates all
+// models; we switch to the second backend configuration ("packed"), whose
+// performance signature differs the same way, and regenerate.
+//
+// Expected shape: the best variant may differ from system A's (on the
+// paper's Sandy Bridge, variant 1 overtakes variant 3), variant 4 stays
+// slowest, and the ranking is still predicted correctly.
+
+#include "predict/ranking.hpp"
+#include "support/bench_util.hpp"
+
+int main() {
+  using namespace dlap;
+  using namespace dlap::bench;
+  const Scales sc = current_scales();
+  const std::string backend = system_b();
+
+  const ModelSet models = trinv_model_set(backend, Locality::InCache, sc);
+  const Predictor pred(models);
+
+  print_comment("Fig IV.3: trinv on the second system (backend " + backend +
+                "), blocksize " + std::to_string(sc.blocksize));
+  print_header({"n", "meas_v1", "meas_v2", "meas_v3", "meas_v4",
+                "pred_v1", "pred_v2", "pred_v3", "pred_v4"});
+
+  const index_t step = sc.paper ? 64 : 32;
+  index_t ranked_correctly = 0;
+  index_t points = 0;
+  for (index_t n = 96; n <= sc.sweep_max; n += step) {
+    std::vector<double> meas_ticks, pred_ticks, row;
+    for (int v = 1; v <= kTrinvVariantCount; ++v) {
+      const double mt =
+          measure_trinv_ticks(backend, v, n, sc.blocksize, sc.reps);
+      meas_ticks.push_back(mt);
+      row.push_back(trinv_efficiency(n, mt));
+    }
+    for (int v = 1; v <= kTrinvVariantCount; ++v) {
+      const double pt =
+          pred.predict(trace_trinv(v, n, sc.blocksize)).ticks.median;
+      pred_ticks.push_back(pt);
+      row.push_back(trinv_efficiency(n, pt));
+    }
+    print_row(static_cast<double>(n), row);
+    ++points;
+    if (rank_order(pred_ticks) == rank_order(meas_ticks)) ++ranked_correctly;
+  }
+  print_comment("full ranking correct at " + std::to_string(ranked_correctly) +
+                "/" + std::to_string(points) + " sizes on system B");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig IV.4 -- trinv with multithreaded BLAS: predictions and observations
+// on all cores. The paper links against multithreaded OpenBLAS on 8
+// cores; we wrap the system-A backend in the thread-pool decorator and
+// regenerate all models from the threaded kernels.
+//
+// NOTE: the reproduction host may expose a single hardware core; the
+// threaded code path is then exercised under oversubscription, which still
+// yields a distinct performance signature (fork/join overhead instead of
+// speedup) for the models to capture. Crossovers between variants are
+// detected and reported like the paper's variant-3/4 crossover at n~650.
+
+#include <thread>
+
+#include "common/env.hpp"
+#include "predict/ranking.hpp"
+#include "support/bench_util.hpp"
+
+int main() {
+  using namespace dlap;
+  using namespace dlap::bench;
+  const Scales sc = current_scales();
+
+  index_t threads = env_int("DLAPERF_THREADS", 0);
+  if (threads <= 0) {
+    threads = static_cast<index_t>(std::thread::hardware_concurrency());
+    if (threads <= 1) threads = 4;  // oversubscribe: still a real signature
+  }
+  const std::string backend = system_a() + "@" + std::to_string(threads);
+
+  const ModelSet models = trinv_model_set(backend, Locality::InCache, sc);
+  const Predictor pred(models);
+
+  print_comment("Fig IV.4: trinv with multithreaded BLAS (" + backend +
+                ", hardware threads: " +
+                std::to_string(std::thread::hardware_concurrency()) + ")");
+  print_header({"n", "meas_v1", "meas_v2", "meas_v3", "meas_v4",
+                "pred_v1", "pred_v2", "pred_v3", "pred_v4"});
+
+  const index_t step = sc.paper ? 64 : 32;
+  std::vector<std::vector<double>> meas_series(kTrinvVariantCount),
+      pred_series(kTrinvVariantCount);
+  std::vector<index_t> sizes;
+  index_t ranked_correctly = 0;
+  index_t points = 0;
+  for (index_t n = 96; n <= sc.sweep_max; n += step) {
+    sizes.push_back(n);
+    std::vector<double> meas_ticks, pred_ticks, row;
+    for (int v = 1; v <= kTrinvVariantCount; ++v) {
+      const double mt =
+          measure_trinv_ticks(backend, v, n, sc.blocksize, sc.reps);
+      meas_ticks.push_back(mt);
+      meas_series[v - 1].push_back(mt);
+      row.push_back(trinv_efficiency(n, mt));
+    }
+    for (int v = 1; v <= kTrinvVariantCount; ++v) {
+      const double pt =
+          pred.predict(trace_trinv(v, n, sc.blocksize)).ticks.median;
+      pred_ticks.push_back(pt);
+      pred_series[v - 1].push_back(pt);
+      row.push_back(trinv_efficiency(n, pt));
+    }
+    print_row(static_cast<double>(n), row);
+    ++points;
+    if (rank_order(pred_ticks) == rank_order(meas_ticks)) ++ranked_correctly;
+  }
+  print_comment("full ranking correct at " + std::to_string(ranked_correctly) +
+                "/" + std::to_string(points) + " sizes");
+
+  // Crossover analysis between every variant pair, measured vs predicted.
+  for (int a = 0; a < kTrinvVariantCount; ++a) {
+    for (int b = a + 1; b < kTrinvVariantCount; ++b) {
+      const auto mx = crossovers(meas_series[a], meas_series[b]);
+      const auto px = crossovers(pred_series[a], pred_series[b]);
+      if (mx.empty() && px.empty()) continue;
+      std::string line = "crossover v" + std::to_string(a + 1) + "/v" +
+                         std::to_string(b + 1) + ": measured at n ~ {";
+      for (index_t i : mx) line += std::to_string(sizes[i]) + " ";
+      line += "}, predicted at n ~ {";
+      for (index_t i : px) line += std::to_string(sizes[i]) + " ";
+      line += "}";
+      print_comment(line);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig IV.5 -- triangular Sylvester equation: predictions vs observations
+// for all 16 algorithmic variants (square problems, blocksize per scale).
+//
+// Expected shape (paper): the variants fall into two performance groups
+// separated by a wide gap (the paper sees 4 variants near 20% efficiency
+// and 12 below 2%); the prediction must (1) separate the groups and
+// (2) rank the top variants correctly.
+
+#include "predict/ranking.hpp"
+#include "support/bench_util.hpp"
+
+int main() {
+  using namespace dlap;
+  using namespace dlap::bench;
+  const Scales sc = current_scales();
+  const std::string backend = system_a();
+  const index_t b = sc.sylv_blocksize;
+
+  const ModelSet models = sylv_model_set(backend, Locality::InCache, sc);
+  const Predictor pred(models);
+
+  print_comment("Fig IV.5: sylv, 16 variants, blocksize " +
+                std::to_string(b) + ", backend " + backend);
+  std::vector<std::string> cols{"n"};
+  for (int v = 1; v <= kSylvVariantCount; ++v) {
+    cols.push_back("meas_v" + std::to_string(v));
+  }
+  for (int v = 1; v <= kSylvVariantCount; ++v) {
+    cols.push_back("pred_v" + std::to_string(v));
+  }
+  print_header(cols);
+
+  const index_t step = sc.paper ? 128 : 96;
+  std::vector<double> last_meas, last_pred;
+  for (index_t n = 96; n <= sc.sylv_max; n += step) {
+    std::vector<double> meas_ticks, pred_ticks, row;
+    for (int v = 1; v <= kSylvVariantCount; ++v) {
+      const double mt = measure_sylv_ticks(backend, v, n, b, sc.reps);
+      meas_ticks.push_back(mt);
+      row.push_back(sylv_efficiency(n, mt));
+    }
+    for (int v = 1; v <= kSylvVariantCount; ++v) {
+      const double pt = pred.predict(trace_sylv(v, n, n, b)).ticks.median;
+      pred_ticks.push_back(pt);
+      row.push_back(sylv_efficiency(n, pt));
+    }
+    print_row(static_cast<double>(n), row);
+    last_meas = meas_ticks;
+    last_pred = pred_ticks;
+  }
+
+  // Group analysis at the largest size.
+  const auto mfast = fast_group(last_meas);
+  const auto pfast = fast_group(last_pred);
+  auto group_str = [](const std::vector<index_t>& g) {
+    std::string s = "{";
+    for (index_t i : g) s += "v" + std::to_string(i + 1) + " ";
+    return s + "}";
+  };
+  print_comment("measured fast group:  " + group_str(mfast));
+  print_comment("predicted fast group: " + group_str(pfast));
+  // Variants inside one group run within noise of each other, so the
+  // robust success metric is group containment: every variant the model
+  // calls fast must indeed belong to the measured fast group.
+  index_t contained = 0;
+  for (index_t v : pfast) {
+    for (index_t m : mfast) contained += (v == m);
+  }
+  print_comment("predicted-fast within measured-fast: " +
+                std::to_string(contained) + "/" +
+                std::to_string(pfast.size()));
+  print_comment("top-4 overlap (predicted vs measured): " +
+                std::to_string(topk_overlap(last_pred, last_meas, 4)));
+  print_comment("kendall tau over all 16 variants: " +
+                std::to_string(kendall_tau(last_pred, last_meas)));
+
+  const auto morder = rank_order(last_meas);
+  const double sep = last_meas[morder[morder.size() - 1]] /
+                     last_meas[morder[0]];
+  print_comment("measured slowest/fastest ratio: " + std::to_string(sep));
+  return 0;
+}

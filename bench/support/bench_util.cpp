@@ -1,0 +1,242 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "algorithms/sylv.hpp"
+#include "algorithms/trinv.hpp"
+#include "common/env.hpp"
+#include "common/matrix.hpp"
+#include "common/matrix_util.hpp"
+#include "common/rng.hpp"
+#include "sampler/stats.hpp"
+#include "sampler/ticks.hpp"
+
+namespace dlap::bench {
+
+Scales current_scales() {
+  Scales s;
+  s.paper = paper_scale();
+  if (s.paper) {
+    s.sweep_max = 1024;
+    s.trinv_fixed_n = 1000;
+    s.model_max_2d = 1024;
+    s.model_max_3d = 1024;
+    s.sylv_max = 1024;
+    s.sylv_blocksize = 96;  // the paper's block size
+    s.reps = 5;
+  }
+  s.reps *= static_cast<index_t>(rep_multiplier());
+  return s;
+}
+
+std::vector<std::string> library_backends() {
+  return {"naive", "blocked", "packed"};
+}
+
+std::string system_a() { return "blocked"; }
+std::string system_b() { return "packed"; }
+
+void print_comment(const std::string& text) {
+  std::printf("# %s\n", text.c_str());
+}
+
+void print_header(const std::vector<std::string>& columns) {
+  std::printf("#");
+  for (const auto& c : columns) std::printf(" %14s", c.c_str());
+  std::printf("\n");
+}
+
+void print_row(const std::vector<double>& values) {
+  std::printf(" ");
+  for (double v : values) std::printf(" %14.6g", v);
+  std::printf("\n");
+}
+
+void print_row(double x, const std::vector<double>& values) {
+  std::printf("  %14.6g", x);
+  for (double v : values) std::printf(" %14.6g", v);
+  std::printf("\n");
+}
+
+RefinementConfig paper_refinement_config() {
+  RefinementConfig cfg;
+  cfg.base.error_bound = 0.10;  // the paper's configuration (c)
+  cfg.base.degree = 3;
+  cfg.base.granularity = 8;
+  cfg.base.grid_points_per_dim = 4;
+  cfg.min_region_size = 32;
+  return cfg;
+}
+
+namespace {
+
+ModelRepository& model_repo() {
+  static ModelRepository repo(
+      env_string("DLAPERF_MODEL_DIR", "dlaperf_models"));
+  return repo;
+}
+
+bool domain_covers(const Region& have, const Region& want) {
+  if (have.dims() != want.dims()) return false;
+  for (int d = 0; d < have.dims(); ++d) {
+    if (have.lo(d) > want.lo(d) || have.hi(d) < want.hi(d)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RoutineModel get_or_build_model(const ModelingRequest& request,
+                                const std::string& backend) {
+  ModelKey key;
+  key.routine = routine_name(request.routine);
+  key.backend = backend;
+  key.locality = request.sampler.locality;
+  key.flags.assign(request.flags.begin(), request.flags.end());
+
+  ModelRepository& repo = model_repo();
+  if (repo.contains(key)) {
+    RoutineModel cached = repo.load(key);
+    if (domain_covers(cached.model.domain(), request.domain)) return cached;
+  }
+  std::fprintf(stderr, "[dlaperf] generating model %s ...\n",
+               key.to_string().c_str());
+  Modeler modeler(backend_instance(backend));
+  RoutineModel fresh =
+      modeler.build_refinement(request, paper_refinement_config());
+  repo.store(fresh);
+  std::fprintf(stderr, "[dlaperf]   %zu regions, %lld samples, avg err %.2f%%\n",
+               fresh.model.pieces().size(),
+               static_cast<long long>(fresh.unique_samples),
+               100.0 * fresh.average_error);
+  return fresh;
+}
+
+namespace {
+
+ModelingRequest base_request(RoutineId routine, std::vector<char> flags,
+                             Region domain, Locality locality,
+                             index_t reps) {
+  ModelingRequest req;
+  req.routine = routine;
+  req.flags = std::move(flags);
+  req.domain = std::move(domain);
+  req.fixed_ld = 2500;
+  req.sampler.locality = locality;
+  req.sampler.reps = reps;
+  return req;
+}
+
+}  // namespace
+
+ModelSet trinv_model_set(const std::string& backend, Locality locality,
+                         const Scales& sc) {
+  // Out-of-cache measurements fluctuate more; extra repetitions keep the
+  // median stable so refinement does not chase noise.
+  const index_t reps = sc.reps + (locality == Locality::OutOfCache ? 2 : 0);
+  const Region d1({8}, {sc.model_max_unb});
+  const Region d2({8, 8}, {sc.model_max_2d, sc.model_max_2d});
+  const Region d3({8, 8, 8},
+                  {sc.model_max_3d, sc.model_max_3d, sc.model_max_3d});
+  ModelSet set;
+  set.add(get_or_build_model(
+      base_request(RoutineId::Trmm, {'R', 'L', 'N', 'N'}, d2, locality,
+                   reps),
+      backend));
+  set.add(get_or_build_model(
+      base_request(RoutineId::Trsm, {'L', 'L', 'N', 'N'}, d2, locality,
+                   reps),
+      backend));
+  set.add(get_or_build_model(
+      base_request(RoutineId::Trsm, {'R', 'L', 'N', 'N'}, d2, locality,
+                   reps),
+      backend));
+  set.add(get_or_build_model(
+      base_request(RoutineId::Gemm, {'N', 'N'}, d3, locality, reps),
+      backend));
+  set.add(get_or_build_model(
+      base_request(RoutineId::Trinv1Unb, {}, d1, locality, reps),
+      backend));
+  set.add(get_or_build_model(
+      base_request(RoutineId::Trinv2Unb, {}, d1, locality, reps),
+      backend));
+  set.add(get_or_build_model(
+      base_request(RoutineId::Trinv3Unb, {}, d1, locality, reps),
+      backend));
+  set.add(get_or_build_model(
+      base_request(RoutineId::Trinv4Unb, {}, d1, locality, reps),
+      backend));
+  return set;
+}
+
+ModelSet sylv_model_set(const std::string& backend, Locality locality,
+                        const Scales& sc) {
+  const index_t reps = sc.reps + (locality == Locality::OutOfCache ? 2 : 0);
+  const Region d2({8, 8}, {sc.model_max_unb, sc.model_max_unb});
+  // Pull-style schedules accumulate gemms whose k grows to the full sweep
+  // size, so the gemm model must span the sylv sweep, not just the trinv
+  // one.
+  const index_t g3 = std::max(sc.model_max_3d, sc.sylv_max);
+  const Region d3({8, 8, 8}, {g3, g3, g3});
+  ModelSet set;
+  set.add(get_or_build_model(
+      base_request(RoutineId::Gemm, {'N', 'N'}, d3, locality, reps),
+      backend));
+  set.add(get_or_build_model(
+      base_request(RoutineId::SylvUnb, {}, d2, locality, reps),
+      backend));
+  return set;
+}
+
+double measure_trinv_ticks(const std::string& backend, int variant,
+                           index_t n, index_t blocksize, index_t reps) {
+  ExecContext ctx(backend_instance(backend));
+  Rng rng(2026);
+  Matrix l0(n, n);
+  fill_lower_triangular(l0.view(), rng);
+  Matrix work(n, n);
+
+  std::vector<double> ticks;
+  // One warm-up run absorbs first-call initialization.
+  for (index_t r = 0; r <= reps; ++r) {
+    copy_matrix(l0.view(), work.view());
+    const std::uint64_t t0 = read_ticks();
+    trinv_blocked(ctx, variant, n, work.data(), n, blocksize);
+    const std::uint64_t t1 = read_ticks();
+    if (r > 0) ticks.push_back(static_cast<double>(t1 - t0));
+  }
+  return summarize(std::move(ticks)).median;
+}
+
+double measure_sylv_ticks(const std::string& backend, int variant, index_t n,
+                          index_t blocksize, index_t reps) {
+  ExecContext ctx(backend_instance(backend));
+  Rng rng(4711);
+  Matrix l(n, n), u(n, n), c0(n, n);
+  fill_lower_triangular(l.view(), rng);
+  fill_upper_triangular(u.view(), rng);
+  fill_uniform(c0.view(), rng);
+  Matrix work(n, n);
+
+  std::vector<double> ticks;
+  for (index_t r = 0; r <= reps; ++r) {
+    copy_matrix(c0.view(), work.view());
+    const std::uint64_t t0 = read_ticks();
+    sylv_blocked(ctx, variant, n, n, l.data(), n, u.data(), n, work.data(),
+                 n, blocksize);
+    const std::uint64_t t1 = read_ticks();
+    if (r > 0) ticks.push_back(static_cast<double>(t1 - t0));
+  }
+  return summarize(std::move(ticks)).median;
+}
+
+double trinv_efficiency(index_t n, double ticks) {
+  return efficiency(trinv_flops(n), ticks);
+}
+
+double sylv_efficiency(index_t n, double ticks) {
+  return efficiency(sylv_flops(n, n), ticks);
+}
+
+}  // namespace dlap::bench

@@ -1,0 +1,105 @@
+#pragma once
+// Shared support for the figure-reproduction benches.
+//
+// Every fig_* binary prints the series the corresponding paper figure
+// plots, as whitespace-aligned columns with a '#'-prefixed header, so the
+// output can be fed straight to gnuplot/pandas. Two scales are supported:
+//   - default: CI-friendly domains (minutes for the whole suite),
+//   - DLAPERF_PAPER_SCALE=1: the paper's exact domains.
+// Generated models are cached in a on-disk repository (DLAPERF_MODEL_DIR,
+// default ./dlaperf_models) keyed by routine/backend/locality/flags, so
+// the model-hungry benches share one generation pass.
+
+#include <string>
+#include <vector>
+
+#include "algorithms/sylv.hpp"
+#include "algorithms/trinv.hpp"
+#include "blas/registry.hpp"
+#include "modeler/modeler.hpp"
+#include "modeler/repository.hpp"
+#include "modeler/strategies.hpp"
+#include "predict/predictor.hpp"
+#include "predict/trace.hpp"
+#include "sampler/machine.hpp"
+#include "sampler/sampler.hpp"
+
+namespace dlap::bench {
+
+/// Problem-size scales for the current run.
+struct Scales {
+  bool paper = false;
+  index_t sweep_max = 384;      ///< largest n in size sweeps (paper: 1024)
+  index_t sweep_step = 8;       ///< size sweep granularity
+  index_t trinv_fixed_n = 256;  ///< block-size sweeps (paper: 1000)
+  index_t blocksize = 96;       ///< the paper's default block size
+  index_t bsweep_max = 256;     ///< largest block size in b sweeps
+  index_t model_max_2d = 384;   ///< 2-D model domain upper bound
+  index_t model_max_3d = 256;   ///< 3-D (gemm) model domain upper bound
+  index_t model_max_unb = 256;  ///< unblocked-kernel model domain bound
+  index_t sylv_max = 384;       ///< sylv sweep bound (paper: 1024)
+  /// sylv block size. Default 16: on hosts with very large last-level
+  /// caches the memory-traffic penalty of push-style schedules only shows
+  /// once the pull gemms become skinny; the paper's 96 is used at paper
+  /// scale.
+  index_t sylv_blocksize = 16;
+  index_t reps = 3;             ///< sampler repetitions
+};
+
+/// Reads DLAPERF_PAPER_SCALE / DLAPERF_REPS and derives the scales.
+[[nodiscard]] Scales current_scales();
+
+/// The three "libraries" of the paper's comparisons.
+[[nodiscard]] std::vector<std::string> library_backends();
+
+/// System A (Harpertown stand-in) and system B (Sandy Bridge stand-in).
+[[nodiscard]] std::string system_a();
+[[nodiscard]] std::string system_b();
+
+// ------------------------------------------------------------- printing
+
+void print_comment(const std::string& text);
+void print_header(const std::vector<std::string>& columns);
+void print_row(const std::vector<double>& values);
+void print_row(double x, const std::vector<double>& values);
+
+// ------------------------------------------------- model-set management
+
+/// The Adaptive Refinement configuration the paper selects in III-D3
+/// (error bound 10%, minimum region size 32).
+[[nodiscard]] RefinementConfig paper_refinement_config();
+
+/// Loads (or generates and stores) one model; the cached copy is reused
+/// only when its domain covers `domain`.
+[[nodiscard]] RoutineModel get_or_build_model(const ModelingRequest& request,
+                                              const std::string& backend);
+
+/// Builds the model set needed to predict all four trinv variants:
+/// dtrmm(RLNN), dtrsm(LLNN), dtrsm(RLNN), dgemm(NN), trinv{1-4}_unb.
+[[nodiscard]] ModelSet trinv_model_set(const std::string& backend,
+                                       Locality locality,
+                                       const Scales& scales);
+
+/// Builds the model set for the sylv variants: dgemm(NN) and sylv_unb.
+[[nodiscard]] ModelSet sylv_model_set(const std::string& backend,
+                                      Locality locality,
+                                      const Scales& scales);
+
+// ----------------------------------------------------- direct execution
+
+/// Median ticks of actually executing trinv variant `variant` with the
+/// given backend (fresh well-conditioned operand per repetition).
+[[nodiscard]] double measure_trinv_ticks(const std::string& backend,
+                                         int variant, index_t n,
+                                         index_t blocksize, index_t reps);
+
+/// Median ticks of actually executing sylv variant `variant` (m = n).
+[[nodiscard]] double measure_sylv_ticks(const std::string& backend,
+                                        int variant, index_t n,
+                                        index_t blocksize, index_t reps);
+
+/// Efficiency of a trinv / sylv run from its tick count (paper formulas).
+[[nodiscard]] double trinv_efficiency(index_t n, double ticks);
+[[nodiscard]] double sylv_efficiency(index_t n, double ticks);
+
+}  // namespace dlap::bench

@@ -1,0 +1,116 @@
+// Ranking algorithmic variants without executing them (paper Section IV-A).
+//
+// Generates performance models for the kernels used by the four blocked
+// triangular-inversion variants, predicts each variant's runtime from its
+// call trace alone, then verifies the predicted ranking against actual
+// executions.
+//
+// Build & run:  ./build/examples/rank_trinv [n] [blocksize]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "algorithms/trinv.hpp"
+#include "blas/registry.hpp"
+#include "common/matrix_util.hpp"
+#include "common/rng.hpp"
+#include "modeler/modeler.hpp"
+#include "predict/predictor.hpp"
+#include "predict/ranking.hpp"
+#include "predict/trace.hpp"
+#include "sampler/machine.hpp"
+#include "sampler/ticks.hpp"
+
+namespace {
+
+using namespace dlap;
+
+RoutineModel build(Modeler& modeler, RoutineId routine,
+                   std::vector<char> flags, Region domain) {
+  ModelingRequest req;
+  req.routine = routine;
+  req.flags = std::move(flags);
+  req.domain = std::move(domain);
+  req.fixed_ld = 512;
+  req.sampler.reps = 3;
+  RefinementConfig cfg;
+  cfg.base.error_bound = 0.10;
+  cfg.base.degree = 3;
+  cfg.min_region_size = 32;
+  std::printf("  modeling %s ...\n", routine_name(routine));
+  return modeler.build_refinement(req, cfg);
+}
+
+double run_trinv(Level3Backend& backend, int variant, index_t n,
+                 index_t b) {
+  ExecContext ctx(backend);
+  Rng rng(7);
+  Matrix l(n, n);
+  fill_lower_triangular(l.view(), rng);
+  Matrix work(n, n);
+  copy_matrix(l.view(), work.view());
+  trinv_blocked(ctx, variant, n, work.data(), n, b);  // warm-up
+  copy_matrix(l.view(), work.view());
+  const std::uint64_t t0 = read_ticks();
+  trinv_blocked(ctx, variant, n, work.data(), n, b);
+  const std::uint64_t t1 = read_ticks();
+  return static_cast<double>(t1 - t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t n = (argc > 1) ? std::atoll(argv[1]) : 320;
+  const index_t b = (argc > 2) ? std::atoll(argv[2]) : 64;
+  Level3Backend& backend = backend_instance("blocked");
+  Modeler modeler(backend);
+
+  std::printf("generating kernel models (backend %s):\n",
+              backend.name().c_str());
+  const Region d1({8}, {256});
+  const Region d2({8, 8}, {n, n});
+  const Region d3({8, 8, 8}, {n, n, n});
+  ModelSet models;
+  models.add(build(modeler, RoutineId::Trmm, {'R', 'L', 'N', 'N'}, d2));
+  models.add(build(modeler, RoutineId::Trsm, {'L', 'L', 'N', 'N'}, d2));
+  models.add(build(modeler, RoutineId::Trsm, {'R', 'L', 'N', 'N'}, d2));
+  models.add(build(modeler, RoutineId::Gemm, {'N', 'N'}, d3));
+  models.add(build(modeler, RoutineId::Trinv1Unb, {}, d1));
+  models.add(build(modeler, RoutineId::Trinv2Unb, {}, d1));
+  models.add(build(modeler, RoutineId::Trinv3Unb, {}, d1));
+  models.add(build(modeler, RoutineId::Trinv4Unb, {}, d1));
+
+  const Predictor pred(models);
+  std::printf("\npredicting trinv variants at n=%lld, b=%lld "
+              "(no execution involved):\n",
+              static_cast<long long>(n), static_cast<long long>(b));
+  std::vector<double> predicted, measured;
+  for (int v = 1; v <= kTrinvVariantCount; ++v) {
+    const Prediction p = pred.predict(trace_trinv(v, n, b));
+    predicted.push_back(p.ticks.median);
+    std::printf("  variant %d: predicted %12.0f ticks "
+                "(efficiency %.2f)\n",
+                v, p.ticks.median,
+                efficiency(trinv_flops(n), p.ticks.median));
+  }
+
+  std::printf("\nverifying against actual executions:\n");
+  for (int v = 1; v <= kTrinvVariantCount; ++v) {
+    measured.push_back(run_trinv(backend, v, n, b));
+    std::printf("  variant %d: measured  %12.0f ticks "
+                "(efficiency %.2f)\n",
+                v, measured.back(),
+                efficiency(trinv_flops(n), measured.back()));
+  }
+
+  const auto po = rank_order(predicted);
+  const auto mo = rank_order(measured);
+  std::printf("\npredicted order: ");
+  for (index_t i : po) std::printf("v%lld ", static_cast<long long>(i + 1));
+  std::printf("\nmeasured order:  ");
+  for (index_t i : mo) std::printf("v%lld ", static_cast<long long>(i + 1));
+  std::printf("\nkendall tau: %.2f, best variant %s\n",
+              kendall_tau(predicted, measured),
+              same_winner(predicted, measured) ? "MATCHES" : "differs");
+  return 0;
+}

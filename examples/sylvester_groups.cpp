@@ -1,0 +1,102 @@
+// Separating fast from slow Sylvester-equation algorithms (paper IV-B).
+//
+// Sixteen blocked schedules solve L X + X U = C; the paper observes that
+// twelve land an order of magnitude below the other four. This example
+// predicts all sixteen from models of dgemm and the unblocked solver,
+// separates the groups, and verifies the split by execution.
+//
+// Build & run:  ./build/examples/sylvester_groups [n] [blocksize]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "algorithms/sylv.hpp"
+#include "blas/registry.hpp"
+#include "common/matrix_util.hpp"
+#include "common/rng.hpp"
+#include "modeler/modeler.hpp"
+#include "predict/predictor.hpp"
+#include "predict/ranking.hpp"
+#include "predict/trace.hpp"
+#include "sampler/ticks.hpp"
+
+namespace {
+
+using namespace dlap;
+
+RoutineModel build(Modeler& modeler, RoutineId routine, Region domain) {
+  ModelingRequest req;
+  req.routine = routine;
+  req.flags = (routine == RoutineId::Gemm) ? std::vector<char>{'N', 'N'}
+                                           : std::vector<char>{};
+  req.domain = std::move(domain);
+  req.fixed_ld = 512;
+  req.sampler.reps = 3;
+  RefinementConfig cfg;
+  cfg.base.error_bound = 0.10;
+  cfg.base.degree = 3;
+  cfg.min_region_size = 32;
+  return modeler.build_refinement(req, cfg);
+}
+
+std::string group_to_string(const std::vector<index_t>& group) {
+  std::string s;
+  for (index_t v : group) s += "v" + std::to_string(v + 1) + " ";
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t n = (argc > 1) ? std::atoll(argv[1]) : 240;
+  const index_t b = (argc > 2) ? std::atoll(argv[2]) : 48;
+  Level3Backend& backend = backend_instance("blocked");
+  Modeler modeler(backend);
+
+  std::printf("modeling dgemm and the unblocked Sylvester solver...\n");
+  ModelSet models;
+  models.add(build(modeler, RoutineId::Gemm,
+                   Region({8, 8, 8}, {n, n, n})));
+  models.add(build(modeler, RoutineId::SylvUnb,
+                   Region({8, 8}, {2 * b, 2 * b})));
+  const Predictor pred(models);
+
+  std::printf("\npredictions for the 16 variants (n=%lld, b=%lld):\n",
+              static_cast<long long>(n), static_cast<long long>(b));
+  std::vector<double> predicted;
+  for (int v = 1; v <= kSylvVariantCount; ++v) {
+    const SylvSchedule s = sylv_schedule(v);
+    predicted.push_back(
+        pred.predict(trace_sylv(v, n, n, b)).ticks.median);
+    std::printf("  v%02d (%s row, %s col): %12.0f ticks\n", v,
+                s.push_row ? "push" : "pull", s.push_col ? "push" : "pull",
+                predicted.back());
+  }
+  const auto pfast = fast_group(predicted);
+  std::printf("predicted fast group: %s\n", group_to_string(pfast).c_str());
+
+  std::printf("\nverifying by execution:\n");
+  ExecContext ctx(backend);
+  Rng rng(13);
+  Matrix l(n, n), u(n, n), c0(n, n);
+  fill_lower_triangular(l.view(), rng);
+  fill_upper_triangular(u.view(), rng);
+  fill_uniform(c0.view(), rng);
+  Matrix work(n, n);
+  std::vector<double> measured;
+  for (int v = 1; v <= kSylvVariantCount; ++v) {
+    copy_matrix(c0.view(), work.view());
+    sylv_blocked(ctx, v, n, n, l.data(), n, u.data(), n, work.data(), n, b);
+    copy_matrix(c0.view(), work.view());
+    const std::uint64_t t0 = read_ticks();
+    sylv_blocked(ctx, v, n, n, l.data(), n, u.data(), n, work.data(), n, b);
+    const std::uint64_t t1 = read_ticks();
+    measured.push_back(static_cast<double>(t1 - t0));
+  }
+  const auto mfast = fast_group(measured);
+  std::printf("measured fast group:  %s\n", group_to_string(mfast).c_str());
+  std::printf("top-4 overlap: %.0f%%, kendall tau: %.2f\n",
+              100.0 * topk_overlap(predicted, measured, 4),
+              kendall_tau(predicted, measured));
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Tuning the algorithmic block size from models alone (paper IV-A2).
+//
+// For a chosen trinv variant and matrix size, evaluates the predicted
+// runtime over a range of block sizes, picks the best, and verifies the
+// choice by executing the real algorithm at several block sizes.
+//
+// Build & run:  ./build/examples/tune_blocksize [variant] [n]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "algorithms/trinv.hpp"
+#include "blas/registry.hpp"
+#include "common/matrix_util.hpp"
+#include "common/rng.hpp"
+#include "modeler/modeler.hpp"
+#include "predict/predictor.hpp"
+#include "predict/ranking.hpp"
+#include "predict/trace.hpp"
+#include "sampler/ticks.hpp"
+
+namespace {
+
+using namespace dlap;
+
+RoutineModel build(Modeler& modeler, RoutineId routine,
+                   std::vector<char> flags, Region domain) {
+  ModelingRequest req;
+  req.routine = routine;
+  req.flags = std::move(flags);
+  req.domain = std::move(domain);
+  req.fixed_ld = 512;
+  req.sampler.reps = 3;
+  RefinementConfig cfg;
+  cfg.base.error_bound = 0.10;
+  cfg.base.degree = 3;
+  cfg.min_region_size = 32;
+  return modeler.build_refinement(req, cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int variant = (argc > 1) ? std::atoi(argv[1]) : 3;
+  const index_t n = (argc > 2) ? std::atoll(argv[2]) : 320;
+  Level3Backend& backend = backend_instance("blocked");
+  Modeler modeler(backend);
+
+  std::printf("modeling kernels for trinv variant %d (backend %s)...\n",
+              variant, backend.name().c_str());
+  ModelSet models;
+  const Region d1({8}, {256});
+  const Region d2({8, 8}, {n, n});
+  const Region d3({8, 8, 8}, {n, n, n});
+  models.add(build(modeler, RoutineId::Trmm, {'R', 'L', 'N', 'N'}, d2));
+  models.add(build(modeler, RoutineId::Trsm, {'L', 'L', 'N', 'N'}, d2));
+  models.add(build(modeler, RoutineId::Trsm, {'R', 'L', 'N', 'N'}, d2));
+  models.add(build(modeler, RoutineId::Gemm, {'N', 'N'}, d3));
+  models.add(build(modeler, static_cast<RoutineId>(
+                                static_cast<int>(RoutineId::Trinv1Unb) +
+                                variant - 1),
+                   {}, d1));
+  const Predictor pred(models);
+
+  std::printf("\npredicted ticks per block size (n=%lld):\n",
+              static_cast<long long>(n));
+  std::vector<index_t> bs;
+  std::vector<double> predicted;
+  for (index_t b = 16; b <= 160; b += 16) {
+    const double t = pred.predict(trace_trinv(variant, n, b)).ticks.median;
+    bs.push_back(b);
+    predicted.push_back(t);
+    std::printf("  b = %4lld : %12.0f\n", static_cast<long long>(b), t);
+  }
+  const index_t best_pred = bs[rank_order(predicted)[0]];
+  std::printf("model says: use b = %lld\n",
+              static_cast<long long>(best_pred));
+
+  std::printf("\nverifying by execution:\n");
+  ExecContext ctx(backend);
+  Rng rng(11);
+  Matrix l(n, n);
+  fill_lower_triangular(l.view(), rng);
+  Matrix work(n, n);
+  std::vector<double> measured;
+  for (index_t b : bs) {
+    copy_matrix(l.view(), work.view());
+    trinv_blocked(ctx, variant, n, work.data(), n, b);  // warm-up
+    copy_matrix(l.view(), work.view());
+    const std::uint64_t t0 = read_ticks();
+    trinv_blocked(ctx, variant, n, work.data(), n, b);
+    const std::uint64_t t1 = read_ticks();
+    measured.push_back(static_cast<double>(t1 - t0));
+    std::printf("  b = %4lld : %12.0f\n", static_cast<long long>(b),
+                measured.back());
+  }
+  const index_t best_meas = bs[rank_order(measured)[0]];
+  std::printf("measurement says: b = %lld; model said b = %lld (%s)\n",
+              static_cast<long long>(best_meas),
+              static_cast<long long>(best_pred),
+              std::llabs(best_meas - best_pred) <= 16 ? "within one step"
+                                                      : "differs");
+  return 0;
+}

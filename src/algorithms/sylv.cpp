@@ -1,0 +1,169 @@
+#include "algorithms/sylv.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace dlap {
+
+double sylv_flops(index_t m, index_t n) {
+  const double dm = static_cast<double>(m);
+  const double dn = static_cast<double>(n);
+  return dm * dn * (dm + dn + 2.0);
+}
+
+SylvSchedule sylv_schedule(int variant) {
+  DLAP_REQUIRE(variant >= 1 && variant <= kSylvVariantCount,
+               "sylv: variant must be 1..16");
+  const int v = variant - 1;
+  SylvSchedule s;
+  // Bits: [0] row policy, [1] column policy, [2..3] traversal.
+  s.push_row = (v & 0b0001) != 0;
+  s.push_col = (v & 0b0010) != 0;
+  switch ((v >> 2) & 0b11) {
+    case 0: s.order = SylvSchedule::Order::DiagCol; break;
+    case 1: s.order = SylvSchedule::Order::DiagRow; break;
+    case 2: s.order = SylvSchedule::Order::ColMajor; break;
+    default: s.order = SylvSchedule::Order::RowMajor; break;
+  }
+  return s;
+}
+
+void sylv_unblocked(index_t m, index_t n, const double* l, index_t ldl,
+                    const double* u, index_t ldu, double* x, index_t ldx) {
+  DLAP_REQUIRE(m >= 0 && n >= 0, "sylv: negative dimension");
+  DLAP_REQUIRE(ldl >= (m > 0 ? m : 1), "sylv: ldl too small");
+  DLAP_REQUIRE(ldu >= (n > 0 ? n : 1), "sylv: ldu too small");
+  DLAP_REQUIRE(ldx >= (m > 0 ? m : 1), "sylv: ldx too small");
+  // x_ij = (c_ij - sum_{p<i} l_ip x_pj - sum_{q<j} x_iq u_qj)/(l_ii + u_jj);
+  // sweep column-major so both partial sums only read finished entries.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double s = x[i + j * ldx];
+      for (index_t p = 0; p < i; ++p) s -= l[i + p * ldl] * x[p + j * ldx];
+      for (index_t q = 0; q < j; ++q) s -= x[i + q * ldx] * u[q + j * ldu];
+      const double d = l[i + i * ldl] + u[j + j * ldu];
+      if (d == 0.0) {
+        throw numerical_error("sylv: singular operator (l_ii + u_jj == 0)");
+      }
+      x[i + j * ldx] = s / d;
+    }
+  }
+}
+
+void ExecContext::sylv_unb(index_t m, index_t n, const double* l, index_t ldl,
+                           const double* u, index_t ldu, double* x,
+                           index_t ldx) {
+  sylv_unblocked(m, n, l, ldl, u, ldu, x, ldx);
+}
+
+namespace {
+
+// Block grid bookkeeping: block r covers rows [row0(r), row0(r)+rows(r)).
+struct Grid {
+  index_t total;
+  index_t b;
+  [[nodiscard]] index_t count() const { return (total + b - 1) / b; }
+  [[nodiscard]] index_t start(index_t blk) const { return blk * b; }
+  [[nodiscard]] index_t size(index_t blk) const {
+    return std::min(b, total - blk * b);
+  }
+};
+
+// Emits the block visit order for a schedule; every order is a topological
+// order of the dependency DAG (block (i,j) after (i-1,j) and (i,j-1)).
+std::vector<std::pair<index_t, index_t>> visit_order(
+    SylvSchedule::Order order, index_t nr, index_t nc) {
+  std::vector<std::pair<index_t, index_t>> out;
+  out.reserve(static_cast<std::size_t>(nr * nc));
+  switch (order) {
+    case SylvSchedule::Order::RowMajor:
+      for (index_t i = 0; i < nr; ++i)
+        for (index_t j = 0; j < nc; ++j) out.emplace_back(i, j);
+      break;
+    case SylvSchedule::Order::ColMajor:
+      for (index_t j = 0; j < nc; ++j)
+        for (index_t i = 0; i < nr; ++i) out.emplace_back(i, j);
+      break;
+    case SylvSchedule::Order::DiagRow:
+      // Diagonal block t, then the remainder of block row t (left to
+      // right), then the remainder of block column t (top to bottom).
+      for (index_t t = 0; t < std::max(nr, nc); ++t) {
+        if (t < nr && t < nc) out.emplace_back(t, t);
+        if (t < nr)
+          for (index_t j = t + 1; j < nc; ++j) out.emplace_back(t, j);
+        if (t < nc)
+          for (index_t i = t + 1; i < nr; ++i) out.emplace_back(i, t);
+      }
+      break;
+    case SylvSchedule::Order::DiagCol:
+      for (index_t t = 0; t < std::max(nr, nc); ++t) {
+        if (t < nr && t < nc) out.emplace_back(t, t);
+        if (t < nc)
+          for (index_t i = t + 1; i < nr; ++i) out.emplace_back(i, t);
+        if (t < nr)
+          for (index_t j = t + 1; j < nc; ++j) out.emplace_back(t, j);
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+void sylv_blocked(KernelContext& ctx, int variant, index_t m, index_t n,
+                  const double* l, index_t ldl, const double* u, index_t ldu,
+                  double* x, index_t ldx, index_t blocksize) {
+  const SylvSchedule sched = sylv_schedule(variant);
+  DLAP_REQUIRE(m >= 0 && n >= 0, "sylv: negative dimension");
+  DLAP_REQUIRE(blocksize >= 1, "sylv: blocksize must be >= 1");
+  DLAP_REQUIRE(ldl >= (m > 0 ? m : 1), "sylv: ldl too small");
+  DLAP_REQUIRE(ldu >= (n > 0 ? n : 1), "sylv: ldu too small");
+  DLAP_REQUIRE(ldx >= (m > 0 ? m : 1), "sylv: ldx too small");
+  if (m == 0 || n == 0) return;
+
+  const Grid rows{m, blocksize};
+  const Grid cols{n, blocksize};
+  const index_t nr = rows.count();
+  const index_t nc = cols.count();
+
+  for (const auto& [bi, bj] : visit_order(sched.order, nr, nc)) {
+    const index_t r0 = rows.start(bi);
+    const index_t rb = rows.size(bi);
+    const index_t r1 = r0 + rb;
+    const index_t c0 = cols.start(bj);
+    const index_t cb = cols.size(bj);
+    const index_t c1 = c0 + cb;
+    double* xij = x + r0 + c0 * ldx;
+
+    // Pull policies: accumulate all outstanding contributions into this
+    // block with one large gemm per dimension (k grows with progress).
+    if (!sched.push_row && r0 > 0) {
+      // X(i,j) -= L[r0:r1, 0:r0) * X[0:r0, c0:c1).
+      ctx.gemm(Trans::NoTrans, Trans::NoTrans, rb, cb, r0, -1.0, l + r0, ldl,
+               x + c0 * ldx, ldx, 1.0, xij, ldx);
+    }
+    if (!sched.push_col && c0 > 0) {
+      // X(i,j) -= X[r0:r1, 0:c0) * U[0:c0, c0:c1).
+      ctx.gemm(Trans::NoTrans, Trans::NoTrans, rb, cb, c0, -1.0, x + r0, ldx,
+               u + c0 * ldu, ldu, 1.0, xij, ldx);
+    }
+
+    ctx.sylv_unb(rb, cb, l + r0 + r0 * ldl, ldl, u + c0 + c0 * ldu, ldu, xij,
+                 ldx);
+
+    // Push policies: broadcast this block's contribution immediately to
+    // every unsolved block below / to the right (rank-b updates).
+    if (sched.push_row && r1 < m) {
+      // X[r1:m, c0:c1) -= L[r1:m, r0:r1) * X(i,j).
+      ctx.gemm(Trans::NoTrans, Trans::NoTrans, m - r1, cb, rb, -1.0,
+               l + r1 + r0 * ldl, ldl, xij, ldx, 1.0, x + r1 + c0 * ldx, ldx);
+    }
+    if (sched.push_col && c1 < n) {
+      // X[r0:r1, c1:n) -= X(i,j) * U[c0:c1, c1:n).
+      ctx.gemm(Trans::NoTrans, Trans::NoTrans, rb, n - c1, cb, -1.0, xij, ldx,
+               u + c0 + c1 * ldu, ldu, 1.0, x + r0 + c1 * ldx, ldx);
+    }
+  }
+}
+
+}  // namespace dlap

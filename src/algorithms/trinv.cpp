@@ -1,0 +1,182 @@
+#include "algorithms/trinv.hpp"
+
+#include <algorithm>
+
+namespace dlap {
+
+double trinv_flops(index_t n) {
+  const double x = static_cast<double>(n);
+  return x * (x + 1.0) * (x + 2.0) / 3.0;
+}
+
+namespace {
+
+double diag_inv(double d) {
+  if (d == 0.0) throw numerical_error("trinv: singular triangular matrix");
+  return 1.0 / d;
+}
+
+// Variant 1 at blocksize 1 (left-looking): the row to the left of the
+// diagonal is finalized using the already-inverted leading block.
+//   L10 <- L10 L00;  L10 <- -L10 / l_kk;  l_kk <- 1 / l_kk
+void unb_v1(index_t n, double* l, index_t ldl) {
+  for (index_t k = 0; k < n; ++k) {
+    // Row-vector times inverted lower triangle: overwrite ascending, each
+    // result element only reads source elements at or after its position.
+    for (index_t j = 0; j < k; ++j) {
+      double s = 0.0;
+      for (index_t i = j; i < k; ++i) s += l[k + i * ldl] * l[i + j * ldl];
+      l[k + j * ldl] = s;
+    }
+    const double dinv = diag_inv(l[k + k * ldl]);
+    for (index_t j = 0; j < k; ++j) l[k + j * ldl] *= -dinv;
+    l[k + k * ldl] = dinv;
+  }
+}
+
+// Variant 2 at blocksize 1: the column below the diagonal is finalized via
+// a solve with the (original) trailing triangle.
+//   L21 <- L22^{-1} L21;  L21 <- -L21 / l_kk;  l_kk <- 1 / l_kk
+void unb_v2(index_t n, double* l, index_t ldl) {
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t i = k + 1; i < n; ++i) {
+      double s = l[i + k * ldl];
+      for (index_t j = k + 1; j < i; ++j) s -= l[i + j * ldl] * l[j + k * ldl];
+      l[i + k * ldl] = s * diag_inv(l[i + i * ldl]);
+    }
+    const double dinv = diag_inv(l[k + k * ldl]);
+    for (index_t i = k + 1; i < n; ++i) l[i + k * ldl] *= -dinv;
+    l[k + k * ldl] = dinv;
+  }
+}
+
+// Variant 3 at blocksize 1 (right-looking, gemm-rich in blocked form):
+//   L21 <- -L21 / l_kk;  L20 <- L21 L10 + L20;  L10 <- L10 / l_kk;
+//   l_kk <- 1 / l_kk
+void unb_v3(index_t n, double* l, index_t ldl) {
+  for (index_t k = 0; k < n; ++k) {
+    const double dinv = diag_inv(l[k + k * ldl]);
+    for (index_t i = k + 1; i < n; ++i) l[i + k * ldl] *= -dinv;
+    for (index_t j = 0; j < k; ++j) {
+      const double lkj = l[k + j * ldl];
+      if (lkj == 0.0) continue;
+      for (index_t i = k + 1; i < n; ++i) {
+        l[i + j * ldl] += l[i + k * ldl] * lkj;
+      }
+    }
+    for (index_t j = 0; j < k; ++j) l[k + j * ldl] *= dinv;
+    l[k + k * ldl] = dinv;
+  }
+}
+
+// Variant 4 at blocksize 1 (the most expensive blocked variant: trailing
+// solve plus a growing trmm):
+//   L21 <- -L22^{-1} L21;  L20 <- -L21 L10 + L20;  L10 <- L10 L00;
+//   l_kk <- 1 / l_kk
+void unb_v4(index_t n, double* l, index_t ldl) {
+  for (index_t k = 0; k < n; ++k) {
+    // Solve first, negate afterwards: the forward substitution must read
+    // the unnegated partial solutions.
+    for (index_t i = k + 1; i < n; ++i) {
+      double s = l[i + k * ldl];
+      for (index_t j = k + 1; j < i; ++j) s -= l[i + j * ldl] * l[j + k * ldl];
+      l[i + k * ldl] = s * diag_inv(l[i + i * ldl]);
+    }
+    for (index_t i = k + 1; i < n; ++i) l[i + k * ldl] = -l[i + k * ldl];
+    for (index_t j = 0; j < k; ++j) {
+      const double lkj = l[k + j * ldl];
+      if (lkj == 0.0) continue;
+      for (index_t i = k + 1; i < n; ++i) {
+        l[i + j * ldl] -= l[i + k * ldl] * lkj;
+      }
+    }
+    for (index_t j = 0; j < k; ++j) {
+      double s = 0.0;
+      for (index_t i = j; i < k; ++i) s += l[k + i * ldl] * l[i + j * ldl];
+      l[k + j * ldl] = s;
+    }
+    l[k + k * ldl] = diag_inv(l[k + k * ldl]);
+  }
+}
+
+}  // namespace
+
+void trinv_unblocked(int variant, index_t n, double* l, index_t ldl) {
+  DLAP_REQUIRE(variant >= 1 && variant <= kTrinvVariantCount,
+               "trinv: variant must be 1..4");
+  DLAP_REQUIRE(n >= 0, "trinv: negative dimension");
+  DLAP_REQUIRE(ldl >= (n > 0 ? n : 1), "trinv: ldl too small");
+  switch (variant) {
+    case 1: unb_v1(n, l, ldl); break;
+    case 2: unb_v2(n, l, ldl); break;
+    case 3: unb_v3(n, l, ldl); break;
+    default: unb_v4(n, l, ldl); break;
+  }
+}
+
+void ExecContext::trinv_unb(int variant, index_t n, double* l, index_t ldl) {
+  trinv_unblocked(variant, n, l, ldl);
+}
+
+void trinv_blocked(KernelContext& ctx, int variant, index_t n, double* l,
+                   index_t ldl, index_t blocksize) {
+  DLAP_REQUIRE(variant >= 1 && variant <= kTrinvVariantCount,
+               "trinv: variant must be 1..4");
+  DLAP_REQUIRE(n >= 0, "trinv: negative dimension");
+  DLAP_REQUIRE(ldl >= (n > 0 ? n : 1), "trinv: ldl too small");
+  DLAP_REQUIRE(blocksize >= 1, "trinv: blocksize must be >= 1");
+  const index_t b = blocksize;
+
+  // Partition (paper Section IV-A):
+  //   [ L00  0    0   ]   L00: k0 x k0  (already traversed)
+  //   [ L10  L11  0   ]   L11: kb x kb  (current block)
+  //   [ L20  L21  L22 ]   L22: n2 x n2  (not yet traversed)
+  for (index_t k0 = 0; k0 < n; k0 += b) {
+    const index_t kb = std::min(b, n - k0);
+    const index_t k1 = k0 + kb;
+    const index_t n2 = n - k1;
+    double* l00 = l;
+    double* l10 = l + k0;
+    double* l11 = l + k0 + k0 * ldl;
+    double* l20 = l + k1;
+    double* l21 = l + k1 + k0 * ldl;
+    double* l22 = l + k1 + k1 * ldl;
+
+    switch (variant) {
+      case 1:
+        ctx.trmm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, kb,
+                 k0, 1.0, l00, ldl, l10, ldl);
+        ctx.trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, kb,
+                 k0, -1.0, l11, ldl, l10, ldl);
+        ctx.trinv_unb(1, kb, l11, ldl);
+        break;
+      case 2:
+        ctx.trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, n2,
+                 kb, 1.0, l22, ldl, l21, ldl);
+        ctx.trsm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, n2,
+                 kb, -1.0, l11, ldl, l21, ldl);
+        ctx.trinv_unb(2, kb, l11, ldl);
+        break;
+      case 3:
+        ctx.trsm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, n2,
+                 kb, -1.0, l11, ldl, l21, ldl);
+        ctx.gemm(Trans::NoTrans, Trans::NoTrans, n2, k0, kb, 1.0, l21, ldl,
+                 l10, ldl, 1.0, l20, ldl);
+        ctx.trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, kb,
+                 k0, 1.0, l11, ldl, l10, ldl);
+        ctx.trinv_unb(3, kb, l11, ldl);
+        break;
+      default:
+        ctx.trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, n2,
+                 kb, -1.0, l22, ldl, l21, ldl);
+        ctx.gemm(Trans::NoTrans, Trans::NoTrans, n2, k0, kb, -1.0, l21, ldl,
+                 l10, ldl, 1.0, l20, ldl);
+        ctx.trmm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, kb,
+                 k0, 1.0, l00, ldl, l10, ldl);
+        ctx.trinv_unb(4, kb, l11, ldl);
+        break;
+    }
+  }
+}
+
+}  // namespace dlap

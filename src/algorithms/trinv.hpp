@@ -1,0 +1,44 @@
+#pragma once
+// Inversion of a lower-triangular matrix, L <- L^{-1} (the paper's
+// motivating operation, Sections I and IV-A).
+//
+// Four blocked algorithmic variants, equivalent in exact arithmetic but
+// with different performance signatures, exactly as printed in the paper:
+//
+//   Variant 1                Variant 2                Variant 3
+//   L10 <- L10 L00           L21 <- L22^{-1} L21      L21 <- -L21 L11^{-1}
+//   L10 <- -L11^{-1} L10     L21 <- -L21 L11^{-1}     L20 <- L21 L10 + L20
+//   L11 <- L11^{-1}          L11 <- L11^{-1}          L10 <- L11^{-1} L10
+//                                                     L11 <- L11^{-1}
+//   Variant 4
+//   L21 <- -L22^{-1} L21
+//   L20 <- -L21 L10 + L20
+//   L10 <- L10 L00
+//   L11 <- L11^{-1}
+//
+// The matrix is traversed in steps of `blocksize`; the final statement of
+// each iteration is an unblocked inversion of the diagonal block (the
+// blocked algorithm with blocksize 1, per the paper's call trace).
+
+#include "algorithms/kernel_context.hpp"
+#include "common/types.hpp"
+
+namespace dlap {
+
+inline constexpr int kTrinvVariantCount = 4;
+
+/// Exact flop count of the triangular inversion, n(n+1)(n+2)/3; the
+/// paper's efficiency formula is this divided by (fips * ticks).
+[[nodiscard]] double trinv_flops(index_t n);
+
+/// Unblocked in-place inversion, scalar loops mirroring blocked variant
+/// `variant` (1-4). All variants compute the same result; their loop
+/// structures (and hence performance) differ.
+void trinv_unblocked(int variant, index_t n, double* l, index_t ldl);
+
+/// Blocked in-place inversion, variant 1-4, with block size b >= 1.
+/// All subroutine invocations go through `ctx`.
+void trinv_blocked(KernelContext& ctx, int variant, index_t n, double* l,
+                   index_t ldl, index_t blocksize);
+
+}  // namespace dlap

@@ -1,0 +1,78 @@
+#pragma once
+// Abstract Level-3 BLAS backend.
+//
+// The paper models three library implementations (OpenBLAS, MKL, ATLAS)
+// that share one interface but differ in performance signature. We
+// reproduce that situation with three from-scratch backends ("naive",
+// "blocked", "packed") plus a threaded decorator; each implements this
+// interface. The Sampler and the algorithms are written against it, so a
+// backend is exactly what the paper calls an "implementation".
+
+#include <string>
+
+#include "blas/flags.hpp"
+#include "common/types.hpp"
+
+namespace dlap {
+
+class Level3Backend {
+ public:
+  virtual ~Level3Backend() = default;
+
+  /// Implementation name as registered ("naive", "blocked", "packed",
+  /// "blocked@4", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Number of worker threads the backend uses (1 for sequential ones).
+  [[nodiscard]] virtual index_t threads() const { return 1; }
+
+  /// C <- alpha * op(A) * op(B) + beta * C.
+  /// op(A) is m x k, op(B) is k x n, C is m x n.
+  virtual void gemm(Trans transa, Trans transb, index_t m, index_t n,
+                    index_t k, double alpha, const double* a, index_t lda,
+                    const double* b, index_t ldb, double beta, double* c,
+                    index_t ldc) = 0;
+
+  /// B <- alpha * op(A)^{-1} * B (Side::Left) or alpha * B * op(A)^{-1}
+  /// (Side::Right). A is triangular (m x m resp. n x n), B is m x n.
+  virtual void trsm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m,
+                    index_t n, double alpha, const double* a, index_t lda,
+                    double* b, index_t ldb) = 0;
+
+  /// B <- alpha * op(A) * B (Side::Left) or alpha * B * op(A)
+  /// (Side::Right). A is triangular, B is m x n.
+  virtual void trmm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m,
+                    index_t n, double alpha, const double* a, index_t lda,
+                    double* b, index_t ldb) = 0;
+
+  /// C <- alpha * op(A) * op(A)^T + beta * C, C symmetric n x n (only the
+  /// `uplo` triangle referenced/updated); op(A) is n x k.
+  virtual void syrk(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+                    const double* a, index_t lda, double beta, double* c,
+                    index_t ldc) = 0;
+
+  /// C <- alpha * A * B + beta * C (Side::Left) or alpha * B * A + beta * C
+  /// (Side::Right); A symmetric, stored in `uplo` half; C is m x n.
+  virtual void symm(Side side, Uplo uplo, index_t m, index_t n, double alpha,
+                    const double* a, index_t lda, const double* b, index_t ldb,
+                    double beta, double* c, index_t ldc) = 0;
+
+  /// C <- alpha*(op(A) op(B)^T + op(B) op(A)^T) + beta*C, C symmetric n x n.
+  virtual void syr2k(Uplo uplo, Trans trans, index_t n, index_t k,
+                     double alpha, const double* a, index_t lda,
+                     const double* b, index_t ldb, double beta, double* c,
+                     index_t ldc) = 0;
+};
+
+namespace blas::detail {
+/// Shared argument validation for level-3 entry points; throws
+/// dlap::invalid_argument_error on bad dimensions / leading dimensions.
+void check_gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+                index_t lda, index_t ldb, index_t ldc);
+void check_trxm(Side side, index_t m, index_t n, index_t lda, index_t ldb);
+void check_syrk(Trans trans, index_t n, index_t k, index_t lda, index_t ldc);
+void check_symm(Side side, index_t m, index_t n, index_t lda, index_t ldb,
+                index_t ldc);
+}  // namespace blas::detail
+
+}  // namespace dlap

@@ -1,0 +1,212 @@
+#include "blas/blocked_backend.hpp"
+
+#include <algorithm>
+
+#include "blas/blocked_common.hpp"
+
+namespace dlap {
+
+namespace {
+
+void scale_matrix(index_t m, index_t n, double beta, double* c, index_t ldc) {
+  if (beta == 1.0) return;
+  for (index_t j = 0; j < n; ++j) {
+    double* col = c + j * ldc;
+    if (beta == 0.0) {
+      for (index_t i = 0; i < m; ++i) col[i] = 0.0;
+    } else {
+      for (index_t i = 0; i < m; ++i) col[i] *= beta;
+    }
+  }
+}
+
+// C tile += alpha * A_tile * B_tile for the NoTrans/NoTrans case:
+// axpy-style rank-updates, 4 C columns per pass so each A column is loaded
+// once per 4 columns.
+void tile_nn(index_t mb, index_t nbt, index_t kb, double alpha,
+             const double* a, index_t lda, const double* b, index_t ldb,
+             double* c, index_t ldc) {
+  index_t j = 0;
+  for (; j + 4 <= nbt; j += 4) {
+    const double* b0 = b + (j + 0) * ldb;
+    const double* b1 = b + (j + 1) * ldb;
+    const double* b2 = b + (j + 2) * ldb;
+    const double* b3 = b + (j + 3) * ldb;
+    double* c0 = c + (j + 0) * ldc;
+    double* c1 = c + (j + 1) * ldc;
+    double* c2 = c + (j + 2) * ldc;
+    double* c3 = c + (j + 3) * ldc;
+    for (index_t l = 0; l < kb; ++l) {
+      const double* acol = a + l * lda;
+      const double w0 = alpha * b0[l];
+      const double w1 = alpha * b1[l];
+      const double w2 = alpha * b2[l];
+      const double w3 = alpha * b3[l];
+      for (index_t i = 0; i < mb; ++i) {
+        const double av = acol[i];
+        c0[i] += av * w0;
+        c1[i] += av * w1;
+        c2[i] += av * w2;
+        c3[i] += av * w3;
+      }
+    }
+  }
+  for (; j < nbt; ++j) {
+    const double* bj = b + j * ldb;
+    double* cj = c + j * ldc;
+    for (index_t l = 0; l < kb; ++l) {
+      const double w = alpha * bj[l];
+      const double* acol = a + l * lda;
+      for (index_t i = 0; i < mb; ++i) cj[i] += acol[i] * w;
+    }
+  }
+}
+
+// C tile += alpha * A_tile^T * B_tile: dot products down columns of A and B
+// (both unit stride), 2x2 outer unroll for register reuse.
+void tile_tn(index_t mb, index_t nbt, index_t kb, double alpha,
+             const double* a, index_t lda, const double* b, index_t ldb,
+             double* c, index_t ldc) {
+  index_t j = 0;
+  for (; j + 2 <= nbt; j += 2) {
+    const double* bj0 = b + (j + 0) * ldb;
+    const double* bj1 = b + (j + 1) * ldb;
+    index_t i = 0;
+    for (; i + 2 <= mb; i += 2) {
+      const double* ai0 = a + (i + 0) * lda;
+      const double* ai1 = a + (i + 1) * lda;
+      double s00 = 0.0, s01 = 0.0, s10 = 0.0, s11 = 0.0;
+      for (index_t l = 0; l < kb; ++l) {
+        const double b0 = bj0[l];
+        const double b1 = bj1[l];
+        s00 += ai0[l] * b0;
+        s01 += ai0[l] * b1;
+        s10 += ai1[l] * b0;
+        s11 += ai1[l] * b1;
+      }
+      c[i + j * ldc] += alpha * s00;
+      c[i + (j + 1) * ldc] += alpha * s01;
+      c[i + 1 + j * ldc] += alpha * s10;
+      c[i + 1 + (j + 1) * ldc] += alpha * s11;
+    }
+    for (; i < mb; ++i) {
+      const double* ai = a + i * lda;
+      double s0 = 0.0, s1 = 0.0;
+      for (index_t l = 0; l < kb; ++l) {
+        s0 += ai[l] * bj0[l];
+        s1 += ai[l] * bj1[l];
+      }
+      c[i + j * ldc] += alpha * s0;
+      c[i + (j + 1) * ldc] += alpha * s1;
+    }
+  }
+  for (; j < nbt; ++j) {
+    const double* bj = b + j * ldb;
+    for (index_t i = 0; i < mb; ++i) {
+      const double* ai = a + i * lda;
+      double s = 0.0;
+      for (index_t l = 0; l < kb; ++l) s += ai[l] * bj[l];
+      c[i + j * ldc] += alpha * s;
+    }
+  }
+}
+
+// C tile += alpha * A_tile * B_tile^T: axpy form with strided B reads.
+void tile_nt(index_t mb, index_t nbt, index_t kb, double alpha,
+             const double* a, index_t lda, const double* b, index_t ldb,
+             double* c, index_t ldc) {
+  for (index_t j = 0; j < nbt; ++j) {
+    double* cj = c + j * ldc;
+    for (index_t l = 0; l < kb; ++l) {
+      const double w = alpha * b[j + l * ldb];
+      if (w == 0.0) continue;
+      const double* acol = a + l * lda;
+      for (index_t i = 0; i < mb; ++i) cj[i] += acol[i] * w;
+    }
+  }
+}
+
+// C tile += alpha * A_tile^T * B_tile^T: dot form with strided B reads.
+void tile_tt(index_t mb, index_t nbt, index_t kb, double alpha,
+             const double* a, index_t lda, const double* b, index_t ldb,
+             double* c, index_t ldc) {
+  for (index_t j = 0; j < nbt; ++j) {
+    for (index_t i = 0; i < mb; ++i) {
+      const double* ai = a + i * lda;
+      double s = 0.0;
+      for (index_t l = 0; l < kb; ++l) s += ai[l] * b[j + l * ldb];
+      c[i + j * ldc] += alpha * s;
+    }
+  }
+}
+
+}  // namespace
+
+void BlockedBackend::gemm(Trans transa, Trans transb, index_t m, index_t n,
+                          index_t k, double alpha, const double* a,
+                          index_t lda, const double* b, index_t ldb,
+                          double beta, double* c, index_t ldc) {
+  blas::detail::check_gemm(transa, transb, m, n, k, lda, ldb, ldc);
+  if (m == 0 || n == 0) return;
+  scale_matrix(m, n, beta, c, ldc);
+  if (k == 0 || alpha == 0.0) return;
+
+  for (index_t pc = 0; pc < k; pc += kc_) {
+    const index_t kb = std::min(kc_, k - pc);
+    for (index_t ic = 0; ic < m; ic += mc_) {
+      const index_t mb = std::min(mc_, m - ic);
+      // Tile origin of op(A): (ic, pc).
+      const double* atile = (transa == Trans::NoTrans)
+                                ? a + ic + pc * lda
+                                : a + pc + ic * lda;
+      // Tile origin of op(B): (pc, 0) within each column sweep.
+      if (transa == Trans::NoTrans && transb == Trans::NoTrans) {
+        tile_nn(mb, n, kb, alpha, atile, lda, b + pc, ldb, c + ic, ldc);
+      } else if (transa == Trans::Transpose && transb == Trans::NoTrans) {
+        tile_tn(mb, n, kb, alpha, atile, lda, b + pc, ldb, c + ic, ldc);
+      } else if (transa == Trans::NoTrans && transb == Trans::Transpose) {
+        tile_nt(mb, n, kb, alpha, atile, lda, b + pc * ldb, ldb, c + ic, ldc);
+      } else {
+        tile_tt(mb, n, kb, alpha, atile, lda, b + pc * ldb, ldb, c + ic, ldc);
+      }
+    }
+  }
+}
+
+void BlockedBackend::trsm(Side side, Uplo uplo, Trans transa, Diag diag,
+                          index_t m, index_t n, double alpha, const double* a,
+                          index_t lda, double* b, index_t ldb) {
+  blas::blk::trsm(*this, nb_, side, uplo, transa, diag, m, n, alpha, a, lda,
+                  b, ldb);
+}
+
+void BlockedBackend::trmm(Side side, Uplo uplo, Trans transa, Diag diag,
+                          index_t m, index_t n, double alpha, const double* a,
+                          index_t lda, double* b, index_t ldb) {
+  blas::blk::trmm(*this, nb_, side, uplo, transa, diag, m, n, alpha, a, lda,
+                  b, ldb);
+}
+
+void BlockedBackend::syrk(Uplo uplo, Trans trans, index_t n, index_t k,
+                          double alpha, const double* a, index_t lda,
+                          double beta, double* c, index_t ldc) {
+  blas::blk::syrk(*this, nb_, uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+}
+
+void BlockedBackend::symm(Side side, Uplo uplo, index_t m, index_t n,
+                          double alpha, const double* a, index_t lda,
+                          const double* b, index_t ldb, double beta, double* c,
+                          index_t ldc) {
+  blas::blk::symm(*this, nb_, side, uplo, m, n, alpha, a, lda, b, ldb, beta,
+                  c, ldc);
+}
+
+void BlockedBackend::syr2k(Uplo uplo, Trans trans, index_t n, index_t k,
+                           double alpha, const double* a, index_t lda,
+                           const double* b, index_t ldb, double beta,
+                           double* c, index_t ldc) {
+  blas::blk::syr2k(*this, nb_, uplo, trans, n, k, alpha, a, lda, b, ldb, beta,
+                   c, ldc);
+}
+
+}  // namespace dlap

@@ -1,0 +1,49 @@
+#pragma once
+// "blocked" backend: cache-blocked gemm (no packing) + blocked trxm/syxx.
+//
+// Middle of the three performance signatures: tiles A/B/C so the working
+// set fits in cache, with a 4-column register kernel, but leaves operands
+// in place (strided access across tiles). Plays the role of a decent
+// hand-blocked library.
+
+#include "blas/backend.hpp"
+
+namespace dlap {
+
+class BlockedBackend final : public Level3Backend {
+ public:
+  /// Tile sizes are tunable for the ablation benches; defaults are chosen
+  /// for common L1/L2 sizes.
+  explicit BlockedBackend(index_t mc = 96, index_t kc = 128, index_t nb = 64)
+      : mc_(mc), kc_(kc), nb_(nb) {
+    DLAP_REQUIRE(mc > 0 && kc > 0 && nb > 0, "tile sizes must be positive");
+  }
+
+  [[nodiscard]] std::string name() const override { return "blocked"; }
+
+  void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+            double alpha, const double* a, index_t lda, const double* b,
+            index_t ldb, double beta, double* c, index_t ldc) override;
+  void trsm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m,
+            index_t n, double alpha, const double* a, index_t lda, double* b,
+            index_t ldb) override;
+  void trmm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m,
+            index_t n, double alpha, const double* a, index_t lda, double* b,
+            index_t ldb) override;
+  void syrk(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+            const double* a, index_t lda, double beta, double* c,
+            index_t ldc) override;
+  void symm(Side side, Uplo uplo, index_t m, index_t n, double alpha,
+            const double* a, index_t lda, const double* b, index_t ldb,
+            double beta, double* c, index_t ldc) override;
+  void syr2k(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+             const double* a, index_t lda, const double* b, index_t ldb,
+             double beta, double* c, index_t ldc) override;
+
+ private:
+  index_t mc_;
+  index_t kc_;
+  index_t nb_;
+};
+
+}  // namespace dlap

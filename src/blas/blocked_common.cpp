@@ -1,0 +1,358 @@
+#include "blas/blocked_common.hpp"
+
+#include <algorithm>
+
+#include "blas/ref_kernels.hpp"
+
+namespace dlap::blas::blk {
+
+namespace {
+
+void scale_full(index_t m, index_t n, double s, double* c, index_t ldc) {
+  if (s == 1.0) return;
+  for (index_t j = 0; j < n; ++j) {
+    double* col = c + j * ldc;
+    if (s == 0.0) {
+      for (index_t i = 0; i < m; ++i) col[i] = 0.0;
+    } else {
+      for (index_t i = 0; i < m; ++i) col[i] *= s;
+    }
+  }
+}
+
+void scale_triangle(Uplo uplo, index_t n, double s, double* c, index_t ldc) {
+  if (s == 1.0) return;
+  for (index_t j = 0; j < n; ++j) {
+    const index_t ibegin = (uplo == Uplo::Lower) ? j : 0;
+    const index_t iend = (uplo == Uplo::Lower) ? n : j + 1;
+    for (index_t i = ibegin; i < iend; ++i) {
+      c[i + j * ldc] = (s == 0.0) ? 0.0 : s * c[i + j * ldc];
+    }
+  }
+}
+
+const double* at(const double* a, index_t lda, index_t i, index_t j) {
+  return a + i + j * lda;
+}
+double* at(double* a, index_t lda, index_t i, index_t j) {
+  return a + i + j * lda;
+}
+
+}  // namespace
+
+void trsm(Level3Backend& bk, index_t nb, Side side, Uplo uplo, Trans transa,
+          Diag diag, index_t m, index_t n, double alpha, const double* a,
+          index_t lda, double* b, index_t ldb) {
+  detail::check_trxm(side, m, n, lda, ldb);
+  if (m == 0 || n == 0) return;
+  scale_full(m, n, alpha, b, ldb);
+  if (alpha == 0.0) return;
+
+  // Whether op(A) is effectively lower triangular.
+  const bool lower = (uplo == Uplo::Lower) == (transa == Trans::NoTrans);
+  const bool notrans = (transa == Trans::NoTrans);
+  const index_t asz = (side == Side::Left) ? m : n;
+
+  if (side == Side::Left) {
+    if (lower) {
+      // Forward block substitution.
+      for (index_t k0 = 0; k0 < asz; k0 += nb) {
+        const index_t kb = std::min(nb, asz - k0);
+        const index_t k1 = k0 + kb;
+        ref::trsm(side, uplo, transa, diag, kb, n, 1.0, at(a, lda, k0, k0),
+                  lda, b + k0, ldb);
+        if (k1 < m) {
+          // B[k1:m) -= op(A)[k1:m, k0:k1) * X[k0:k1).
+          if (notrans) {
+            bk.gemm(Trans::NoTrans, Trans::NoTrans, m - k1, n, kb, -1.0,
+                    at(a, lda, k1, k0), lda, b + k0, ldb, 1.0, b + k1, ldb);
+          } else {
+            bk.gemm(Trans::Transpose, Trans::NoTrans, m - k1, n, kb, -1.0,
+                    at(a, lda, k0, k1), lda, b + k0, ldb, 1.0, b + k1, ldb);
+          }
+        }
+      }
+    } else {
+      // Backward block substitution.
+      for (index_t k1 = asz; k1 > 0;) {
+        const index_t kb = std::min(nb, k1);
+        const index_t k0 = k1 - kb;
+        ref::trsm(side, uplo, transa, diag, kb, n, 1.0, at(a, lda, k0, k0),
+                  lda, b + k0, ldb);
+        if (k0 > 0) {
+          // B[0:k0) -= op(A)[0:k0, k0:k1) * X[k0:k1).
+          if (notrans) {
+            bk.gemm(Trans::NoTrans, Trans::NoTrans, k0, n, kb, -1.0,
+                    at(a, lda, 0, k0), lda, b + k0, ldb, 1.0, b, ldb);
+          } else {
+            bk.gemm(Trans::Transpose, Trans::NoTrans, k0, n, kb, -1.0,
+                    at(a, lda, k0, 0), lda, b + k0, ldb, 1.0, b, ldb);
+          }
+        }
+        k1 = k0;
+      }
+    }
+  } else {  // Side::Right: solve X * op(A) = B
+    if (lower) {
+      // Columns depend on later columns: sweep backwards, lazy updates.
+      for (index_t k1 = asz; k1 > 0;) {
+        const index_t kb = std::min(nb, k1);
+        const index_t k0 = k1 - kb;
+        if (k1 < n) {
+          // B[:, k0:k1) -= X[:, k1:n) * op(A)[k1:n, k0:k1).
+          if (notrans) {
+            bk.gemm(Trans::NoTrans, Trans::NoTrans, m, kb, n - k1, -1.0,
+                    b + k1 * ldb, ldb, at(a, lda, k1, k0), lda, 1.0,
+                    b + k0 * ldb, ldb);
+          } else {
+            bk.gemm(Trans::NoTrans, Trans::Transpose, m, kb, n - k1, -1.0,
+                    b + k1 * ldb, ldb, at(a, lda, k0, k1), lda, 1.0,
+                    b + k0 * ldb, ldb);
+          }
+        }
+        ref::trsm(side, uplo, transa, diag, m, kb, 1.0, at(a, lda, k0, k0),
+                  lda, b + k0 * ldb, ldb);
+        k1 = k0;
+      }
+    } else {
+      for (index_t k0 = 0; k0 < asz; k0 += nb) {
+        const index_t kb = std::min(nb, asz - k0);
+        if (k0 > 0) {
+          // B[:, k0:k1) -= X[:, 0:k0) * op(A)[0:k0, k0:k1).
+          if (notrans) {
+            bk.gemm(Trans::NoTrans, Trans::NoTrans, m, kb, k0, -1.0, b, ldb,
+                    at(a, lda, 0, k0), lda, 1.0, b + k0 * ldb, ldb);
+          } else {
+            bk.gemm(Trans::NoTrans, Trans::Transpose, m, kb, k0, -1.0, b, ldb,
+                    at(a, lda, k0, 0), lda, 1.0, b + k0 * ldb, ldb);
+          }
+        }
+        ref::trsm(side, uplo, transa, diag, m, kb, 1.0, at(a, lda, k0, k0),
+                  lda, b + k0 * ldb, ldb);
+      }
+    }
+  }
+}
+
+void trmm(Level3Backend& bk, index_t nb, Side side, Uplo uplo, Trans transa,
+          Diag diag, index_t m, index_t n, double alpha, const double* a,
+          index_t lda, double* b, index_t ldb) {
+  detail::check_trxm(side, m, n, lda, ldb);
+  if (m == 0 || n == 0) return;
+  if (alpha == 0.0) {
+    scale_full(m, n, 0.0, b, ldb);
+    return;
+  }
+
+  const bool lower = (uplo == Uplo::Lower) == (transa == Trans::NoTrans);
+  const bool notrans = (transa == Trans::NoTrans);
+  const index_t asz = (side == Side::Left) ? m : n;
+
+  if (side == Side::Left) {
+    if (lower) {
+      // Row block k reads original row blocks < k: sweep bottom-up.
+      for (index_t k1 = asz; k1 > 0;) {
+        const index_t kb = std::min(nb, k1);
+        const index_t k0 = k1 - kb;
+        ref::trmm(side, uplo, transa, diag, kb, n, alpha,
+                  at(a, lda, k0, k0), lda, b + k0, ldb);
+        if (k0 > 0) {
+          // B[k0:k1) += alpha * op(A)[k0:k1, 0:k0) * B_orig[0:k0).
+          if (notrans) {
+            bk.gemm(Trans::NoTrans, Trans::NoTrans, kb, n, k0, alpha,
+                    at(a, lda, k0, 0), lda, b, ldb, 1.0, b + k0, ldb);
+          } else {
+            bk.gemm(Trans::Transpose, Trans::NoTrans, kb, n, k0, alpha,
+                    at(a, lda, 0, k0), lda, b, ldb, 1.0, b + k0, ldb);
+          }
+        }
+        k1 = k0;
+      }
+    } else {
+      // Row block k reads original row blocks > k: sweep top-down.
+      for (index_t k0 = 0; k0 < asz; k0 += nb) {
+        const index_t kb = std::min(nb, asz - k0);
+        const index_t k1 = k0 + kb;
+        ref::trmm(side, uplo, transa, diag, kb, n, alpha,
+                  at(a, lda, k0, k0), lda, b + k0, ldb);
+        if (k1 < m) {
+          if (notrans) {
+            bk.gemm(Trans::NoTrans, Trans::NoTrans, kb, n, m - k1, alpha,
+                    at(a, lda, k0, k1), lda, b + k1, ldb, 1.0, b + k0, ldb);
+          } else {
+            bk.gemm(Trans::Transpose, Trans::NoTrans, kb, n, m - k1, alpha,
+                    at(a, lda, k1, k0), lda, b + k1, ldb, 1.0, b + k0, ldb);
+          }
+        }
+      }
+    }
+  } else {  // Side::Right: B <- alpha * B * op(A)
+    if (lower) {
+      // Column block k reads original column blocks > k: sweep left-right.
+      for (index_t k0 = 0; k0 < asz; k0 += nb) {
+        const index_t kb = std::min(nb, asz - k0);
+        const index_t k1 = k0 + kb;
+        ref::trmm(side, uplo, transa, diag, m, kb, alpha,
+                  at(a, lda, k0, k0), lda, b + k0 * ldb, ldb);
+        if (k1 < n) {
+          // B[:,k0:k1) += alpha * B_orig[:,k1:n) * op(A)[k1:n, k0:k1).
+          if (notrans) {
+            bk.gemm(Trans::NoTrans, Trans::NoTrans, m, kb, n - k1, alpha,
+                    b + k1 * ldb, ldb, at(a, lda, k1, k0), lda, 1.0,
+                    b + k0 * ldb, ldb);
+          } else {
+            bk.gemm(Trans::NoTrans, Trans::Transpose, m, kb, n - k1, alpha,
+                    b + k1 * ldb, ldb, at(a, lda, k0, k1), lda, 1.0,
+                    b + k0 * ldb, ldb);
+          }
+        }
+      }
+    } else {
+      // Column block k reads original column blocks < k: sweep right-left.
+      for (index_t k1 = asz; k1 > 0;) {
+        const index_t kb = std::min(nb, k1);
+        const index_t k0 = k1 - kb;
+        ref::trmm(side, uplo, transa, diag, m, kb, alpha,
+                  at(a, lda, k0, k0), lda, b + k0 * ldb, ldb);
+        if (k0 > 0) {
+          if (notrans) {
+            bk.gemm(Trans::NoTrans, Trans::NoTrans, m, kb, k0, alpha, b, ldb,
+                    at(a, lda, 0, k0), lda, 1.0, b + k0 * ldb, ldb);
+          } else {
+            bk.gemm(Trans::NoTrans, Trans::Transpose, m, kb, k0, alpha, b,
+                    ldb, at(a, lda, k0, 0), lda, 1.0, b + k0 * ldb, ldb);
+          }
+        }
+        k1 = k0;
+      }
+    }
+  }
+}
+
+void syrk(Level3Backend& bk, index_t nb, Uplo uplo, Trans trans, index_t n,
+          index_t k, double alpha, const double* a, index_t lda, double beta,
+          double* c, index_t ldc) {
+  detail::check_syrk(trans, n, k, lda, ldc);
+  if (n == 0) return;
+  scale_triangle(uplo, n, beta, c, ldc);
+  if (k == 0 || alpha == 0.0) return;
+
+  for (index_t j0 = 0; j0 < n; j0 += nb) {
+    const index_t jb = std::min(nb, n - j0);
+    // Diagonal block via the reference kernel (beta already applied).
+    ref::syrk(uplo, trans, jb, k, alpha,
+              trans == Trans::NoTrans ? a + j0 : a + j0 * lda, lda, 1.0,
+              at(c, ldc, j0, j0), ldc);
+    // Off-diagonal panel via gemm.
+    const index_t i0 = j0 + jb;
+    if (i0 >= n) continue;
+    const index_t ib = n - i0;
+    if (uplo == Uplo::Lower) {
+      // C[i0:n, j0:j0+jb) += alpha * op(A)[i0:n,:] * op(A)[j0:j0+jb,:]^T.
+      if (trans == Trans::NoTrans) {
+        bk.gemm(Trans::NoTrans, Trans::Transpose, ib, jb, k, alpha, a + i0,
+                lda, a + j0, lda, 1.0, at(c, ldc, i0, j0), ldc);
+      } else {
+        bk.gemm(Trans::Transpose, Trans::NoTrans, ib, jb, k, alpha,
+                a + i0 * lda, lda, a + j0 * lda, lda, 1.0,
+                at(c, ldc, i0, j0), ldc);
+      }
+    } else {
+      // Upper triangle: block (j0, i0) with the roles swapped.
+      if (trans == Trans::NoTrans) {
+        bk.gemm(Trans::NoTrans, Trans::Transpose, jb, ib, k, alpha, a + j0,
+                lda, a + i0, lda, 1.0, at(c, ldc, j0, i0), ldc);
+      } else {
+        bk.gemm(Trans::Transpose, Trans::NoTrans, jb, ib, k, alpha,
+                a + j0 * lda, lda, a + i0 * lda, lda, 1.0,
+                at(c, ldc, j0, i0), ldc);
+      }
+    }
+  }
+}
+
+void symm(Level3Backend& bk, index_t nb, Side side, Uplo uplo, index_t m,
+          index_t n, double alpha, const double* a, index_t lda,
+          const double* b, index_t ldb, double beta, double* c, index_t ldc) {
+  detail::check_symm(side, m, n, lda, ldb, ldc);
+  if (m == 0 || n == 0) return;
+  scale_full(m, n, beta, c, ldc);
+  if (alpha == 0.0) return;
+
+  const index_t asz = (side == Side::Left) ? m : n;
+  for (index_t i0 = 0; i0 < asz; i0 += nb) {
+    const index_t ib = std::min(nb, asz - i0);
+    for (index_t l0 = 0; l0 < asz; l0 += nb) {
+      const index_t lb = std::min(nb, asz - l0);
+      if (i0 == l0) {
+        // Diagonal block: true symmetric multiply on the stored triangle.
+        if (side == Side::Left) {
+          ref::symm(side, uplo, ib, n, alpha, at(a, lda, i0, i0), lda, b + i0,
+                    ldb, 1.0, c + i0, ldc);
+        } else {
+          ref::symm(side, uplo, m, ib, alpha, at(a, lda, i0, i0), lda,
+                    b + i0 * ldb, ldb, 1.0, c + i0 * ldc, ldc);
+        }
+        continue;
+      }
+      // Off-diagonal block A_sym(i0, l0): stored directly when it lies in
+      // the `uplo` triangle, otherwise read transposed from the mirror.
+      const bool stored = (uplo == Uplo::Lower) ? (i0 > l0) : (i0 < l0);
+      const double* ablk =
+          stored ? at(a, lda, i0, l0) : at(a, lda, l0, i0);
+      const Trans ta = stored ? Trans::NoTrans : Trans::Transpose;
+      if (side == Side::Left) {
+        // C[i0 rows] += alpha * A_sym(i0,l0) * B[l0 rows].
+        bk.gemm(ta, Trans::NoTrans, ib, n, lb, alpha, ablk, lda, b + l0, ldb,
+                1.0, c + i0, ldc);
+      } else {
+        // C[:, i0 cols] += alpha * B[:, l0 cols] * A_sym(l0, i0).
+        // A_sym(l0, i0) = A_sym(i0, l0)^T, so flip the transposition.
+        const Trans tb = stored ? Trans::Transpose : Trans::NoTrans;
+        bk.gemm(Trans::NoTrans, tb, m, ib, lb, alpha, b + l0 * ldb, ldb, ablk,
+                lda, 1.0, c + i0 * ldc, ldc);
+      }
+    }
+  }
+}
+
+void syr2k(Level3Backend& bk, index_t nb, Uplo uplo, Trans trans, index_t n,
+           index_t k, double alpha, const double* a, index_t lda,
+           const double* b, index_t ldb, double beta, double* c,
+           index_t ldc) {
+  detail::check_syrk(trans, n, k, lda, ldc);
+  if (n == 0) return;
+  scale_triangle(uplo, n, beta, c, ldc);
+  if (k == 0 || alpha == 0.0) return;
+
+  auto panel = [&](const double* p, index_t off) {
+    return trans == Trans::NoTrans ? p + off : p + off * lda;
+  };
+  auto panel_b = [&](index_t off) {
+    return trans == Trans::NoTrans ? b + off : b + off * ldb;
+  };
+
+  for (index_t j0 = 0; j0 < n; j0 += nb) {
+    const index_t jb = std::min(nb, n - j0);
+    ref::syr2k(uplo, trans, jb, k, alpha, panel(a, j0), lda, panel_b(j0), ldb,
+               1.0, at(c, ldc, j0, j0), ldc);
+    const index_t i0 = j0 + jb;
+    if (i0 >= n) continue;
+    const index_t ib = n - i0;
+    const index_t ri = (uplo == Uplo::Lower) ? i0 : j0;
+    const index_t rj = (uplo == Uplo::Lower) ? j0 : i0;
+    const index_t rm = (uplo == Uplo::Lower) ? ib : jb;
+    const index_t rn = (uplo == Uplo::Lower) ? jb : ib;
+    const Trans t1 = (trans == Trans::NoTrans) ? Trans::NoTrans
+                                               : Trans::Transpose;
+    const Trans t2 = (trans == Trans::NoTrans) ? Trans::Transpose
+                                               : Trans::NoTrans;
+    // C[ri, rj] += alpha*(op(A)[ri] op(B)[rj]^T + op(B)[ri] op(A)[rj]^T).
+    bk.gemm(t1, t2, rm, rn, k, alpha, panel(a, ri), lda, panel_b(rj), ldb,
+            1.0, at(c, ldc, ri, rj), ldc);
+    bk.gemm(t1, t2, rm, rn, k, alpha, panel_b(ri), ldb, panel(a, rj), lda,
+            1.0, at(c, ldc, ri, rj), ldc);
+  }
+}
+
+}  // namespace dlap::blas::blk

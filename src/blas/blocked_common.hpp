@@ -1,0 +1,40 @@
+#pragma once
+// Blocked level-3 routines layered on top of an arbitrary gemm.
+//
+// trsm/trmm/syrk/symm/syr2k are reformulated as sequences of small
+// reference kernels on nb x nb diagonal blocks plus large gemm updates, the
+// standard high-performance BLAS construction. Both the "blocked" and the
+// "packed" backend reuse these, differing only in the gemm they provide and
+// the block size nb.
+
+#include "blas/backend.hpp"
+
+namespace dlap::blas::blk {
+
+/// B <- alpha * op(A)^{-1} B or alpha * B op(A)^{-1}; gemm calls are
+/// dispatched through `bk` so the host backend's optimized gemm is used.
+void trsm(Level3Backend& bk, index_t nb, Side side, Uplo uplo, Trans transa,
+          Diag diag, index_t m, index_t n, double alpha, const double* a,
+          index_t lda, double* b, index_t ldb);
+
+/// B <- alpha * op(A) B or alpha * B op(A).
+void trmm(Level3Backend& bk, index_t nb, Side side, Uplo uplo, Trans transa,
+          Diag diag, index_t m, index_t n, double alpha, const double* a,
+          index_t lda, double* b, index_t ldb);
+
+/// C <- alpha op(A) op(A)^T + beta C (triangle only).
+void syrk(Level3Backend& bk, index_t nb, Uplo uplo, Trans trans, index_t n,
+          index_t k, double alpha, const double* a, index_t lda, double beta,
+          double* c, index_t ldc);
+
+/// C <- alpha A B + beta C with symmetric A (Side selects the A side).
+void symm(Level3Backend& bk, index_t nb, Side side, Uplo uplo, index_t m,
+          index_t n, double alpha, const double* a, index_t lda,
+          const double* b, index_t ldb, double beta, double* c, index_t ldc);
+
+/// C <- alpha (op(A) op(B)^T + op(B) op(A)^T) + beta C (triangle only).
+void syr2k(Level3Backend& bk, index_t nb, Uplo uplo, Trans trans, index_t n,
+           index_t k, double alpha, const double* a, index_t lda,
+           const double* b, index_t ldb, double beta, double* c, index_t ldc);
+
+}  // namespace dlap::blas::blk

@@ -1,0 +1,37 @@
+#include "blas/flags.hpp"
+
+namespace dlap {
+
+Side side_from_char(char c) {
+  switch (c) {
+    case 'L': case 'l': return Side::Left;
+    case 'R': case 'r': return Side::Right;
+    default: throw parse_error(std::string("bad Side flag: '") + c + "'");
+  }
+}
+
+Uplo uplo_from_char(char c) {
+  switch (c) {
+    case 'L': case 'l': return Uplo::Lower;
+    case 'U': case 'u': return Uplo::Upper;
+    default: throw parse_error(std::string("bad Uplo flag: '") + c + "'");
+  }
+}
+
+Trans trans_from_char(char c) {
+  switch (c) {
+    case 'N': case 'n': return Trans::NoTrans;
+    case 'T': case 't': case 'C': case 'c': return Trans::Transpose;
+    default: throw parse_error(std::string("bad Trans flag: '") + c + "'");
+  }
+}
+
+Diag diag_from_char(char c) {
+  switch (c) {
+    case 'N': case 'n': return Diag::NonUnit;
+    case 'U': case 'u': return Diag::Unit;
+    default: throw parse_error(std::string("bad Diag flag: '") + c + "'");
+  }
+}
+
+}  // namespace dlap

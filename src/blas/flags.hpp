@@ -1,0 +1,32 @@
+#pragma once
+// BLAS flag arguments (the paper's "flag" argument class, Section III-A1):
+// each takes one of two values and is modeled by a separate submodel.
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dlap {
+
+enum class Side : char { Left = 'L', Right = 'R' };
+enum class Uplo : char { Lower = 'L', Upper = 'U' };
+enum class Trans : char { NoTrans = 'N', Transpose = 'T' };
+enum class Diag : char { NonUnit = 'N', Unit = 'U' };
+
+[[nodiscard]] constexpr char to_char(Side s) { return static_cast<char>(s); }
+[[nodiscard]] constexpr char to_char(Uplo u) { return static_cast<char>(u); }
+[[nodiscard]] constexpr char to_char(Trans t) { return static_cast<char>(t); }
+[[nodiscard]] constexpr char to_char(Diag d) { return static_cast<char>(d); }
+
+[[nodiscard]] Side side_from_char(char c);
+[[nodiscard]] Uplo uplo_from_char(char c);
+[[nodiscard]] Trans trans_from_char(char c);
+[[nodiscard]] Diag diag_from_char(char c);
+
+/// "L"/"R"/... one-character strings, convenient for call serialization.
+[[nodiscard]] inline std::string to_string(Side s) { return {to_char(s)}; }
+[[nodiscard]] inline std::string to_string(Uplo u) { return {to_char(u)}; }
+[[nodiscard]] inline std::string to_string(Trans t) { return {to_char(t)}; }
+[[nodiscard]] inline std::string to_string(Diag d) { return {to_char(d)}; }
+
+}  // namespace dlap

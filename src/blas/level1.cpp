@@ -1,0 +1,121 @@
+#include "blas/level1.hpp"
+
+#include <cmath>
+
+namespace dlap::blas {
+
+namespace {
+// Negative increments follow BLAS semantics: the vector is traversed
+// backwards starting at element (1-n)*inc.
+index_t start_index(index_t n, index_t inc) {
+  return inc >= 0 ? 0 : (1 - n) * inc;
+}
+}  // namespace
+
+void dscal(index_t n, double alpha, double* x, index_t incx) {
+  if (n <= 0) return;
+  if (incx == 1) {
+    for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+    return;
+  }
+  index_t ix = start_index(n, incx);
+  for (index_t i = 0; i < n; ++i, ix += incx) x[ix] *= alpha;
+}
+
+void dcopy(index_t n, const double* x, index_t incx, double* y, index_t incy) {
+  if (n <= 0) return;
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) y[i] = x[i];
+    return;
+  }
+  index_t ix = start_index(n, incx);
+  index_t iy = start_index(n, incy);
+  for (index_t i = 0; i < n; ++i, ix += incx, iy += incy) y[iy] = x[ix];
+}
+
+void daxpy(index_t n, double alpha, const double* x, index_t incx, double* y,
+           index_t incy) {
+  if (n <= 0 || alpha == 0.0) return;
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+    return;
+  }
+  index_t ix = start_index(n, incx);
+  index_t iy = start_index(n, incy);
+  for (index_t i = 0; i < n; ++i, ix += incx, iy += incy) {
+    y[iy] += alpha * x[ix];
+  }
+}
+
+double ddot(index_t n, const double* x, index_t incx, const double* y,
+            index_t incy) {
+  if (n <= 0) return 0.0;
+  double sum = 0.0;
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) sum += x[i] * y[i];
+    return sum;
+  }
+  index_t ix = start_index(n, incx);
+  index_t iy = start_index(n, incy);
+  for (index_t i = 0; i < n; ++i, ix += incx, iy += incy) {
+    sum += x[ix] * y[iy];
+  }
+  return sum;
+}
+
+double dnrm2(index_t n, const double* x, index_t incx) {
+  if (n <= 0) return 0.0;
+  // Two-pass scaled sum of squares (LAPACK dlassq style) for overflow safety.
+  double scale = 0.0;
+  double ssq = 1.0;
+  index_t ix = start_index(n, incx);
+  for (index_t i = 0; i < n; ++i, ix += incx) {
+    const double a = std::abs(x[ix]);
+    if (a == 0.0) continue;
+    if (scale < a) {
+      const double r = scale / a;
+      ssq = 1.0 + ssq * r * r;
+      scale = a;
+    } else {
+      const double r = a / scale;
+      ssq += r * r;
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+double dasum(index_t n, const double* x, index_t incx) {
+  if (n <= 0) return 0.0;
+  double sum = 0.0;
+  index_t ix = start_index(n, incx);
+  for (index_t i = 0; i < n; ++i, ix += incx) sum += std::abs(x[ix]);
+  return sum;
+}
+
+index_t idamax(index_t n, const double* x, index_t incx) {
+  if (n <= 0) return -1;
+  index_t best = 0;
+  double best_abs = std::abs(x[start_index(n, incx)]);
+  index_t ix = start_index(n, incx);
+  for (index_t i = 0; i < n; ++i, ix += incx) {
+    const double a = std::abs(x[ix]);
+    if (a > best_abs) {
+      best_abs = a;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void dswap(index_t n, double* x, index_t incx, double* y, index_t incy) {
+  if (n <= 0) return;
+  index_t ix = start_index(n, incx);
+  index_t iy = start_index(n, incy);
+  for (index_t i = 0; i < n; ++i, ix += incx, iy += incy) {
+    const double t = x[ix];
+    x[ix] = y[iy];
+    y[iy] = t;
+  }
+}
+
+}  // namespace dlap::blas

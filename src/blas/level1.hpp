@@ -1,0 +1,36 @@
+#pragma once
+// Level-1 BLAS: vector-vector kernels with BLAS increment semantics.
+// Shared by all backends (they dominate nothing at level 3, so one tuned
+// scalar implementation suffices).
+
+#include "common/types.hpp"
+
+namespace dlap::blas {
+
+/// x <- alpha * x
+void dscal(index_t n, double alpha, double* x, index_t incx);
+
+/// y <- x
+void dcopy(index_t n, const double* x, index_t incx, double* y, index_t incy);
+
+/// y <- alpha * x + y
+void daxpy(index_t n, double alpha, const double* x, index_t incx, double* y,
+           index_t incy);
+
+/// returns x . y
+[[nodiscard]] double ddot(index_t n, const double* x, index_t incx,
+                          const double* y, index_t incy);
+
+/// returns ||x||_2 (scaled to avoid overflow)
+[[nodiscard]] double dnrm2(index_t n, const double* x, index_t incx);
+
+/// returns sum |x_i|
+[[nodiscard]] double dasum(index_t n, const double* x, index_t incx);
+
+/// returns index (0-based) of max |x_i|; -1 for empty vectors
+[[nodiscard]] index_t idamax(index_t n, const double* x, index_t incx);
+
+/// swaps x and y
+void dswap(index_t n, double* x, index_t incx, double* y, index_t incy);
+
+}  // namespace dlap::blas

@@ -1,0 +1,147 @@
+#include "blas/level2.hpp"
+
+#include "blas/level1.hpp"
+
+namespace dlap::blas {
+
+namespace {
+void check_ld(index_t rows, index_t ld, const char* who) {
+  DLAP_REQUIRE(ld >= (rows > 0 ? rows : 1),
+               std::string(who) + ": leading dimension too small");
+}
+}  // namespace
+
+void dgemv(Trans trans, index_t m, index_t n, double alpha, const double* a,
+           index_t lda, const double* x, index_t incx, double beta, double* y,
+           index_t incy) {
+  DLAP_REQUIRE(m >= 0 && n >= 0, "dgemv: negative dimension");
+  check_ld(m, lda, "dgemv");
+  const index_t ylen = (trans == Trans::NoTrans) ? m : n;
+  const index_t xlen = (trans == Trans::NoTrans) ? n : m;
+  if (ylen == 0) return;
+  if (beta != 1.0) dscal(ylen, beta, y, incy);
+  if (alpha == 0.0 || xlen == 0) return;
+
+  if (trans == Trans::NoTrans) {
+    // y += alpha * A * x, column sweep: unit-stride access on A.
+    index_t jx = incx >= 0 ? 0 : (1 - n) * incx;
+    for (index_t j = 0; j < n; ++j, jx += incx) {
+      daxpy(m, alpha * x[jx], a + j * lda, 1, y, incy);
+    }
+  } else {
+    index_t jy = incy >= 0 ? 0 : (1 - n) * incy;
+    for (index_t j = 0; j < n; ++j, jy += incy) {
+      y[jy] += alpha * ddot(m, a + j * lda, 1, x, incx);
+    }
+  }
+}
+
+void dger(index_t m, index_t n, double alpha, const double* x, index_t incx,
+          const double* y, index_t incy, double* a, index_t lda) {
+  DLAP_REQUIRE(m >= 0 && n >= 0, "dger: negative dimension");
+  check_ld(m, lda, "dger");
+  if (m == 0 || n == 0 || alpha == 0.0) return;
+  index_t jy = incy >= 0 ? 0 : (1 - n) * incy;
+  for (index_t j = 0; j < n; ++j, jy += incy) {
+    daxpy(m, alpha * y[jy], x, incx, a + j * lda, 1);
+  }
+}
+
+void dtrmv(Uplo uplo, Trans trans, Diag diag, index_t n, const double* a,
+           index_t lda, double* x, index_t incx) {
+  DLAP_REQUIRE(n >= 0, "dtrmv: negative dimension");
+  check_ld(n, lda, "dtrmv");
+  DLAP_REQUIRE(incx == 1, "dtrmv: only incx == 1 is supported");
+  if (n == 0) return;
+  const bool unit = (diag == Diag::Unit);
+
+  const bool effective_lower =
+      (uplo == Uplo::Lower) == (trans == Trans::NoTrans);
+  if (trans == Trans::NoTrans) {
+    if (effective_lower) {
+      // x_i depends on x_{j<=i}: sweep from the bottom.
+      for (index_t i = n - 1; i >= 0; --i) {
+        double sum = unit ? x[i] : a[i + i * lda] * x[i];
+        for (index_t j = 0; j < i; ++j) sum += a[i + j * lda] * x[j];
+        x[i] = sum;
+      }
+    } else {
+      for (index_t i = 0; i < n; ++i) {
+        double sum = unit ? x[i] : a[i + i * lda] * x[i];
+        for (index_t j = i + 1; j < n; ++j) sum += a[i + j * lda] * x[j];
+        x[i] = sum;
+      }
+    }
+  } else {
+    // op(A) = A^T: element (i,j) of op(A) is a[j + i*lda].
+    if (effective_lower) {
+      for (index_t i = n - 1; i >= 0; --i) {
+        double sum = unit ? x[i] : a[i + i * lda] * x[i];
+        for (index_t j = 0; j < i; ++j) sum += a[j + i * lda] * x[j];
+        x[i] = sum;
+      }
+    } else {
+      for (index_t i = 0; i < n; ++i) {
+        double sum = unit ? x[i] : a[i + i * lda] * x[i];
+        for (index_t j = i + 1; j < n; ++j) sum += a[j + i * lda] * x[j];
+        x[i] = sum;
+      }
+    }
+  }
+}
+
+void dtrsv(Uplo uplo, Trans trans, Diag diag, index_t n, const double* a,
+           index_t lda, double* x, index_t incx) {
+  DLAP_REQUIRE(n >= 0, "dtrsv: negative dimension");
+  check_ld(n, lda, "dtrsv");
+  DLAP_REQUIRE(incx == 1, "dtrsv: only incx == 1 is supported");
+  if (n == 0) return;
+  const bool unit = (diag == Diag::Unit);
+
+  auto elem = [&](index_t i, index_t j) {
+    return (trans == Trans::NoTrans) ? a[i + j * lda] : a[j + i * lda];
+  };
+  auto diag_elem = [&](index_t i) -> double {
+    if (unit) return 1.0;
+    const double d = a[i + i * lda];
+    if (d == 0.0) throw numerical_error("dtrsv: singular triangular matrix");
+    return d;
+  };
+
+  const bool effective_lower =
+      (uplo == Uplo::Lower) == (trans == Trans::NoTrans);
+  if (effective_lower) {
+    for (index_t i = 0; i < n; ++i) {
+      double sum = x[i];
+      for (index_t j = 0; j < i; ++j) sum -= elem(i, j) * x[j];
+      x[i] = sum / diag_elem(i);
+    }
+  } else {
+    for (index_t i = n - 1; i >= 0; --i) {
+      double sum = x[i];
+      for (index_t j = i + 1; j < n; ++j) sum -= elem(i, j) * x[j];
+      x[i] = sum / diag_elem(i);
+    }
+  }
+}
+
+void dsymv(Uplo uplo, index_t n, double alpha, const double* a, index_t lda,
+           const double* x, index_t incx, double beta, double* y,
+           index_t incy) {
+  DLAP_REQUIRE(n >= 0, "dsymv: negative dimension");
+  check_ld(n, lda, "dsymv");
+  DLAP_REQUIRE(incx == 1 && incy == 1,
+               "dsymv: only unit increments are supported");
+  if (n == 0) return;
+  if (beta != 1.0) dscal(n, beta, y, incy);
+  if (alpha == 0.0) return;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      const bool use_stored = (uplo == Uplo::Lower) ? (i >= j) : (i <= j);
+      const double aij = use_stored ? a[i + j * lda] : a[j + i * lda];
+      y[i] += alpha * aij * x[j];
+    }
+  }
+}
+
+}  // namespace dlap::blas

@@ -1,0 +1,33 @@
+#pragma once
+// Level-2 BLAS: matrix-vector kernels (column-major, leading-dimension
+// convention). One scalar implementation shared by all backends.
+
+#include "blas/flags.hpp"
+#include "common/types.hpp"
+
+namespace dlap::blas {
+
+/// y <- alpha * op(A) * x + beta * y,  A is m x n.
+void dgemv(Trans trans, index_t m, index_t n, double alpha, const double* a,
+           index_t lda, const double* x, index_t incx, double beta, double* y,
+           index_t incy);
+
+/// A <- alpha * x * y^T + A,  A is m x n.
+void dger(index_t m, index_t n, double alpha, const double* x, index_t incx,
+          const double* y, index_t incy, double* a, index_t lda);
+
+/// x <- op(A) * x,  A triangular n x n.
+void dtrmv(Uplo uplo, Trans trans, Diag diag, index_t n, const double* a,
+           index_t lda, double* x, index_t incx);
+
+/// x <- op(A)^{-1} * x,  A triangular n x n. Throws dlap::numerical_error on
+/// an exactly-zero diagonal element (singular system).
+void dtrsv(Uplo uplo, Trans trans, Diag diag, index_t n, const double* a,
+           index_t lda, double* x, index_t incx);
+
+/// y <- alpha * A * x + beta * y,  A symmetric n x n stored in `uplo` half.
+void dsymv(Uplo uplo, index_t n, double alpha, const double* a, index_t lda,
+           const double* x, index_t incx, double beta, double* y,
+           index_t incy);
+
+}  // namespace dlap::blas

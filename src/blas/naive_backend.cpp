@@ -1,0 +1,47 @@
+#include "blas/naive_backend.hpp"
+
+#include "blas/ref_kernels.hpp"
+
+namespace dlap {
+
+void NaiveBackend::gemm(Trans transa, Trans transb, index_t m, index_t n,
+                        index_t k, double alpha, const double* a, index_t lda,
+                        const double* b, index_t ldb, double beta, double* c,
+                        index_t ldc) {
+  blas::ref::gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                  ldc);
+}
+
+void NaiveBackend::trsm(Side side, Uplo uplo, Trans transa, Diag diag,
+                        index_t m, index_t n, double alpha, const double* a,
+                        index_t lda, double* b, index_t ldb) {
+  blas::ref::trsm(side, uplo, transa, diag, m, n, alpha, a, lda, b, ldb);
+}
+
+void NaiveBackend::trmm(Side side, Uplo uplo, Trans transa, Diag diag,
+                        index_t m, index_t n, double alpha, const double* a,
+                        index_t lda, double* b, index_t ldb) {
+  blas::ref::trmm(side, uplo, transa, diag, m, n, alpha, a, lda, b, ldb);
+}
+
+void NaiveBackend::syrk(Uplo uplo, Trans trans, index_t n, index_t k,
+                        double alpha, const double* a, index_t lda,
+                        double beta, double* c, index_t ldc) {
+  blas::ref::syrk(uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+}
+
+void NaiveBackend::symm(Side side, Uplo uplo, index_t m, index_t n,
+                        double alpha, const double* a, index_t lda,
+                        const double* b, index_t ldb, double beta, double* c,
+                        index_t ldc) {
+  blas::ref::symm(side, uplo, m, n, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void NaiveBackend::syr2k(Uplo uplo, Trans trans, index_t n, index_t k,
+                         double alpha, const double* a, index_t lda,
+                         const double* b, index_t ldb, double beta, double* c,
+                         index_t ldc) {
+  blas::ref::syr2k(uplo, trans, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+}  // namespace dlap

@@ -1,0 +1,36 @@
+#pragma once
+// "naive" backend: textbook kernels without blocking.
+//
+// Plays the role of the slowest library in the paper's three-way
+// comparisons (its performance signature degrades sharply once operands
+// fall out of cache, exactly the contrast the Modeler needs to capture).
+
+#include "blas/backend.hpp"
+
+namespace dlap {
+
+class NaiveBackend final : public Level3Backend {
+ public:
+  [[nodiscard]] std::string name() const override { return "naive"; }
+
+  void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+            double alpha, const double* a, index_t lda, const double* b,
+            index_t ldb, double beta, double* c, index_t ldc) override;
+  void trsm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m,
+            index_t n, double alpha, const double* a, index_t lda, double* b,
+            index_t ldb) override;
+  void trmm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m,
+            index_t n, double alpha, const double* a, index_t lda, double* b,
+            index_t ldb) override;
+  void syrk(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+            const double* a, index_t lda, double beta, double* c,
+            index_t ldc) override;
+  void symm(Side side, Uplo uplo, index_t m, index_t n, double alpha,
+            const double* a, index_t lda, const double* b, index_t ldb,
+            double beta, double* c, index_t ldc) override;
+  void syr2k(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+             const double* a, index_t lda, const double* b, index_t ldb,
+             double beta, double* c, index_t ldc) override;
+};
+
+}  // namespace dlap

@@ -1,0 +1,167 @@
+#include "blas/packed_backend.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "blas/blocked_common.hpp"
+
+namespace dlap {
+
+namespace {
+
+void scale_matrix(index_t m, index_t n, double beta, double* c, index_t ldc) {
+  if (beta == 1.0) return;
+  for (index_t j = 0; j < n; ++j) {
+    double* col = c + j * ldc;
+    if (beta == 0.0) {
+      for (index_t i = 0; i < m; ++i) col[i] = 0.0;
+    } else {
+      for (index_t i = 0; i < m; ++i) col[i] *= beta;
+    }
+  }
+}
+
+// Copies the (rows x cols) tile of op(X) starting at op-coordinates
+// (r0, c0) into `dst` (column-major, ld = rows). alpha is folded in so the
+// kernel below needs no scaling.
+void pack_tile(Trans trans, const double* x, index_t ldx, index_t r0,
+               index_t c0, index_t rows, index_t cols, double alpha,
+               double* dst) {
+  if (trans == Trans::NoTrans) {
+    for (index_t j = 0; j < cols; ++j) {
+      const double* src = x + r0 + (c0 + j) * ldx;
+      double* out = dst + j * rows;
+      for (index_t i = 0; i < rows; ++i) out[i] = alpha * src[i];
+    }
+  } else {
+    // op(X)(i,j) = X(j,i): gather rows of X.
+    for (index_t j = 0; j < cols; ++j) {
+      const double* src = x + (c0 + j) + r0 * ldx;
+      double* out = dst + j * rows;
+      for (index_t i = 0; i < rows; ++i) out[i] = alpha * src[i * ldx];
+    }
+  }
+}
+
+// Unit-stride register kernel on packed tiles: C += Ap * Bp where Ap is
+// mb x kb (ld = mb) and Bp is kb x nbt (ld = kb). Four C columns per pass.
+void kernel_packed(index_t mb, index_t nbt, index_t kb,
+                   const double* __restrict ap, const double* __restrict bp,
+                   double* __restrict c, index_t ldc) {
+  index_t j = 0;
+  for (; j + 4 <= nbt; j += 4) {
+    const double* b0 = bp + (j + 0) * kb;
+    const double* b1 = bp + (j + 1) * kb;
+    const double* b2 = bp + (j + 2) * kb;
+    const double* b3 = bp + (j + 3) * kb;
+    double* __restrict c0 = c + (j + 0) * ldc;
+    double* __restrict c1 = c + (j + 1) * ldc;
+    double* __restrict c2 = c + (j + 2) * ldc;
+    double* __restrict c3 = c + (j + 3) * ldc;
+    for (index_t l = 0; l < kb; ++l) {
+      const double* __restrict acol = ap + l * mb;
+      const double w0 = b0[l];
+      const double w1 = b1[l];
+      const double w2 = b2[l];
+      const double w3 = b3[l];
+      for (index_t i = 0; i < mb; ++i) {
+        const double av = acol[i];
+        c0[i] += av * w0;
+        c1[i] += av * w1;
+        c2[i] += av * w2;
+        c3[i] += av * w3;
+      }
+    }
+  }
+  for (; j < nbt; ++j) {
+    const double* bj = bp + j * kb;
+    double* __restrict cj = c + j * ldc;
+    for (index_t l = 0; l < kb; ++l) {
+      const double w = bj[l];
+      const double* __restrict acol = ap + l * mb;
+      for (index_t i = 0; i < mb; ++i) cj[i] += acol[i] * w;
+    }
+  }
+}
+
+// Lazily grown thread-local packing workspace; deliberately *not*
+// preallocated so the first gemm call pays an initialization cost, like a
+// real BLAS library's first invocation.
+std::vector<double>& pack_buffer_a() {
+  thread_local std::vector<double> buf;
+  return buf;
+}
+std::vector<double>& pack_buffer_b() {
+  thread_local std::vector<double> buf;
+  return buf;
+}
+
+}  // namespace
+
+void PackedBackend::gemm(Trans transa, Trans transb, index_t m, index_t n,
+                         index_t k, double alpha, const double* a,
+                         index_t lda, const double* b, index_t ldb,
+                         double beta, double* c, index_t ldc) {
+  blas::detail::check_gemm(transa, transb, m, n, k, lda, ldb, ldc);
+  if (m == 0 || n == 0) return;
+  scale_matrix(m, n, beta, c, ldc);
+  if (k == 0 || alpha == 0.0) return;
+
+  std::vector<double>& abuf = pack_buffer_a();
+  std::vector<double>& bbuf = pack_buffer_b();
+  abuf.resize(static_cast<std::size_t>(mc_ * kc_));
+  bbuf.resize(static_cast<std::size_t>(kc_ * nc_));
+
+  for (index_t jc = 0; jc < n; jc += nc_) {
+    const index_t nbt = std::min(nc_, n - jc);
+    for (index_t pc = 0; pc < k; pc += kc_) {
+      const index_t kb = std::min(kc_, k - pc);
+      // Pack op(B) tile (pc..pc+kb, jc..jc+nbt); alpha folded into A only.
+      pack_tile(transb, b, ldb, pc, jc, kb, nbt, 1.0, bbuf.data());
+      for (index_t ic = 0; ic < m; ic += mc_) {
+        const index_t mb = std::min(mc_, m - ic);
+        pack_tile(transa, a, lda, ic, pc, mb, kb, alpha, abuf.data());
+        kernel_packed(mb, nbt, kb, abuf.data(), bbuf.data(),
+                      c + ic + jc * ldc, ldc);
+      }
+    }
+  }
+}
+
+void PackedBackend::trsm(Side side, Uplo uplo, Trans transa, Diag diag,
+                         index_t m, index_t n, double alpha, const double* a,
+                         index_t lda, double* b, index_t ldb) {
+  blas::blk::trsm(*this, nb_, side, uplo, transa, diag, m, n, alpha, a, lda,
+                  b, ldb);
+}
+
+void PackedBackend::trmm(Side side, Uplo uplo, Trans transa, Diag diag,
+                         index_t m, index_t n, double alpha, const double* a,
+                         index_t lda, double* b, index_t ldb) {
+  blas::blk::trmm(*this, nb_, side, uplo, transa, diag, m, n, alpha, a, lda,
+                  b, ldb);
+}
+
+void PackedBackend::syrk(Uplo uplo, Trans trans, index_t n, index_t k,
+                         double alpha, const double* a, index_t lda,
+                         double beta, double* c, index_t ldc) {
+  blas::blk::syrk(*this, nb_, uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+}
+
+void PackedBackend::symm(Side side, Uplo uplo, index_t m, index_t n,
+                         double alpha, const double* a, index_t lda,
+                         const double* b, index_t ldb, double beta, double* c,
+                         index_t ldc) {
+  blas::blk::symm(*this, nb_, side, uplo, m, n, alpha, a, lda, b, ldb, beta,
+                  c, ldc);
+}
+
+void PackedBackend::syr2k(Uplo uplo, Trans trans, index_t n, index_t k,
+                          double alpha, const double* a, index_t lda,
+                          const double* b, index_t ldb, double beta,
+                          double* c, index_t ldc) {
+  blas::blk::syr2k(*this, nb_, uplo, trans, n, k, alpha, a, lda, b, ldb,
+                   beta, c, ldc);
+}
+
+}  // namespace dlap

@@ -1,0 +1,359 @@
+#include "blas/ref_kernels.hpp"
+
+#include "blas/backend.hpp"
+
+namespace dlap::blas {
+
+namespace detail {
+
+namespace {
+index_t min_ld(index_t rows) { return rows > 0 ? rows : 1; }
+}  // namespace
+
+void check_gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+                index_t lda, index_t ldb, index_t ldc) {
+  DLAP_REQUIRE(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
+  const index_t arows = (transa == Trans::NoTrans) ? m : k;
+  const index_t brows = (transb == Trans::NoTrans) ? k : n;
+  DLAP_REQUIRE(lda >= min_ld(arows), "gemm: lda too small");
+  DLAP_REQUIRE(ldb >= min_ld(brows), "gemm: ldb too small");
+  DLAP_REQUIRE(ldc >= min_ld(m), "gemm: ldc too small");
+}
+
+void check_trxm(Side side, index_t m, index_t n, index_t lda, index_t ldb) {
+  DLAP_REQUIRE(m >= 0 && n >= 0, "trsm/trmm: negative dimension");
+  const index_t asize = (side == Side::Left) ? m : n;
+  DLAP_REQUIRE(lda >= min_ld(asize), "trsm/trmm: lda too small");
+  DLAP_REQUIRE(ldb >= min_ld(m), "trsm/trmm: ldb too small");
+}
+
+void check_syrk(Trans trans, index_t n, index_t k, index_t lda, index_t ldc) {
+  DLAP_REQUIRE(n >= 0 && k >= 0, "syrk: negative dimension");
+  const index_t arows = (trans == Trans::NoTrans) ? n : k;
+  DLAP_REQUIRE(lda >= min_ld(arows), "syrk: lda too small");
+  DLAP_REQUIRE(ldc >= min_ld(n), "syrk: ldc too small");
+}
+
+void check_symm(Side side, index_t m, index_t n, index_t lda, index_t ldb,
+                index_t ldc) {
+  DLAP_REQUIRE(m >= 0 && n >= 0, "symm: negative dimension");
+  const index_t asize = (side == Side::Left) ? m : n;
+  DLAP_REQUIRE(lda >= min_ld(asize), "symm: lda too small");
+  DLAP_REQUIRE(ldb >= min_ld(m), "symm: ldb too small");
+  DLAP_REQUIRE(ldc >= min_ld(m), "symm: ldc too small");
+}
+
+}  // namespace detail
+
+namespace ref {
+
+namespace {
+
+void scale_matrix(index_t m, index_t n, double beta, double* c, index_t ldc) {
+  if (beta == 1.0) return;
+  for (index_t j = 0; j < n; ++j) {
+    double* col = c + j * ldc;
+    if (beta == 0.0) {
+      for (index_t i = 0; i < m; ++i) col[i] = 0.0;
+    } else {
+      for (index_t i = 0; i < m; ++i) col[i] *= beta;
+    }
+  }
+}
+
+double tri_diag(const double* a, index_t lda, Diag diag, index_t i) {
+  return diag == Diag::Unit ? 1.0 : a[i + i * lda];
+}
+
+double tri_diag_checked(const double* a, index_t lda, Diag diag, index_t i,
+                        const char* who) {
+  const double d = tri_diag(a, lda, diag, i);
+  if (d == 0.0) {
+    throw numerical_error(std::string(who) + ": singular triangular matrix");
+  }
+  return d;
+}
+
+}  // namespace
+
+void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+          double alpha, const double* a, index_t lda, const double* b,
+          index_t ldb, double beta, double* c, index_t ldc) {
+  detail::check_gemm(transa, transb, m, n, k, lda, ldb, ldc);
+  if (m == 0 || n == 0) return;
+  scale_matrix(m, n, beta, c, ldc);
+  if (k == 0 || alpha == 0.0) return;
+
+  // Four loop nests, each ordered so the innermost loop runs down a column
+  // (unit stride) wherever possible.
+  if (transa == Trans::NoTrans && transb == Trans::NoTrans) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t l = 0; l < k; ++l) {
+        const double blj = alpha * b[l + j * ldb];
+        if (blj == 0.0) continue;
+        const double* acol = a + l * lda;
+        double* ccol = c + j * ldc;
+        for (index_t i = 0; i < m; ++i) ccol[i] += blj * acol[i];
+      }
+    }
+  } else if (transa == Trans::Transpose && transb == Trans::NoTrans) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        const double* acol = a + i * lda;
+        const double* bcol = b + j * ldb;
+        double sum = 0.0;
+        for (index_t l = 0; l < k; ++l) sum += acol[l] * bcol[l];
+        c[i + j * ldc] += alpha * sum;
+      }
+    }
+  } else if (transa == Trans::NoTrans && transb == Trans::Transpose) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t l = 0; l < k; ++l) {
+        const double bjl = alpha * b[j + l * ldb];
+        if (bjl == 0.0) continue;
+        const double* acol = a + l * lda;
+        double* ccol = c + j * ldc;
+        for (index_t i = 0; i < m; ++i) ccol[i] += bjl * acol[i];
+      }
+    }
+  } else {  // T, T
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        const double* acol = a + i * lda;
+        double sum = 0.0;
+        for (index_t l = 0; l < k; ++l) sum += acol[l] * b[j + l * ldb];
+        c[i + j * ldc] += alpha * sum;
+      }
+    }
+  }
+}
+
+void trsm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m, index_t n,
+          double alpha, const double* a, index_t lda, double* b, index_t ldb) {
+  detail::check_trxm(side, m, n, lda, ldb);
+  if (m == 0 || n == 0) return;
+  scale_matrix(m, n, alpha, b, ldb);
+  if (alpha == 0.0) return;
+
+  // op(A)(i,j) accessor.
+  auto op = [&](index_t i, index_t j) {
+    return transa == Trans::NoTrans ? a[i + j * lda] : a[j + i * lda];
+  };
+  // Is op(A) effectively lower-triangular?
+  const bool lower = (uplo == Uplo::Lower) == (transa == Trans::NoTrans);
+
+  if (side == Side::Left) {
+    // Solve op(A) * X = B column by column.
+    for (index_t j = 0; j < n; ++j) {
+      double* x = b + j * ldb;
+      if (lower) {
+        for (index_t i = 0; i < m; ++i) {
+          double sum = x[i];
+          for (index_t l = 0; l < i; ++l) sum -= op(i, l) * x[l];
+          x[i] = sum / tri_diag_checked(a, lda, diag, i, "trsm");
+        }
+      } else {
+        for (index_t i = m - 1; i >= 0; --i) {
+          double sum = x[i];
+          for (index_t l = i + 1; l < m; ++l) sum -= op(i, l) * x[l];
+          x[i] = sum / tri_diag_checked(a, lda, diag, i, "trsm");
+        }
+      }
+    }
+  } else {
+    // Solve X * op(A) = B row by row: X(:,j) depends on X(:,l) with
+    // l < j when op(A) is upper (forward sweep), l > j when lower.
+    if (lower) {
+      for (index_t j = n - 1; j >= 0; --j) {
+        double* x = b + j * ldb;
+        for (index_t l = j + 1; l < n; ++l) {
+          const double alj = op(l, j);
+          if (alj == 0.0) continue;
+          const double* xl = b + l * ldb;
+          for (index_t i = 0; i < m; ++i) x[i] -= xl[i] * alj;
+        }
+        const double d = tri_diag_checked(a, lda, diag, j, "trsm");
+        for (index_t i = 0; i < m; ++i) x[i] /= d;
+      }
+    } else {
+      for (index_t j = 0; j < n; ++j) {
+        double* x = b + j * ldb;
+        for (index_t l = 0; l < j; ++l) {
+          const double alj = op(l, j);
+          if (alj == 0.0) continue;
+          const double* xl = b + l * ldb;
+          for (index_t i = 0; i < m; ++i) x[i] -= xl[i] * alj;
+        }
+        const double d = tri_diag_checked(a, lda, diag, j, "trsm");
+        for (index_t i = 0; i < m; ++i) x[i] /= d;
+      }
+    }
+  }
+}
+
+void trmm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m, index_t n,
+          double alpha, const double* a, index_t lda, double* b, index_t ldb) {
+  detail::check_trxm(side, m, n, lda, ldb);
+  if (m == 0 || n == 0) return;
+  if (alpha == 0.0) {
+    scale_matrix(m, n, 0.0, b, ldb);
+    return;
+  }
+
+  auto op = [&](index_t i, index_t j) {
+    return transa == Trans::NoTrans ? a[i + j * lda] : a[j + i * lda];
+  };
+  const bool lower = (uplo == Uplo::Lower) == (transa == Trans::NoTrans);
+
+  if (side == Side::Left) {
+    // B(:,j) <- alpha * op(A) * B(:,j); traversal order chosen so that
+    // still-needed inputs are read before being overwritten.
+    for (index_t j = 0; j < n; ++j) {
+      double* x = b + j * ldb;
+      if (lower) {
+        for (index_t i = m - 1; i >= 0; --i) {
+          double sum = tri_diag(a, lda, diag, i) * x[i];
+          for (index_t l = 0; l < i; ++l) sum += op(i, l) * x[l];
+          x[i] = alpha * sum;
+        }
+      } else {
+        for (index_t i = 0; i < m; ++i) {
+          double sum = tri_diag(a, lda, diag, i) * x[i];
+          for (index_t l = i + 1; l < m; ++l) sum += op(i, l) * x[l];
+          x[i] = alpha * sum;
+        }
+      }
+    }
+  } else {
+    // B <- alpha * B * op(A): column j of the result mixes columns l of B
+    // with op(A)(l, j).
+    if (lower) {
+      for (index_t j = 0; j < n; ++j) {  // ascending: needs original l > j
+        double* x = b + j * ldb;
+        const double d = tri_diag(a, lda, diag, j);
+        for (index_t i = 0; i < m; ++i) x[i] *= alpha * d;
+        for (index_t l = j + 1; l < n; ++l) {
+          const double alj = op(l, j);
+          if (alj == 0.0) continue;
+          const double* xl = b + l * ldb;
+          for (index_t i = 0; i < m; ++i) x[i] += alpha * alj * xl[i];
+        }
+      }
+    } else {
+      for (index_t j = n - 1; j >= 0; --j) {  // descending: needs l < j
+        double* x = b + j * ldb;
+        const double d = tri_diag(a, lda, diag, j);
+        for (index_t i = 0; i < m; ++i) x[i] *= alpha * d;
+        for (index_t l = 0; l < j; ++l) {
+          const double alj = op(l, j);
+          if (alj == 0.0) continue;
+          const double* xl = b + l * ldb;
+          for (index_t i = 0; i < m; ++i) x[i] += alpha * alj * xl[i];
+        }
+      }
+    }
+  }
+}
+
+void syrk(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+          const double* a, index_t lda, double beta, double* c, index_t ldc) {
+  detail::check_syrk(trans, n, k, lda, ldc);
+  if (n == 0) return;
+  // Scale only the referenced triangle.
+  for (index_t j = 0; j < n; ++j) {
+    const index_t ibegin = (uplo == Uplo::Lower) ? j : 0;
+    const index_t iend = (uplo == Uplo::Lower) ? n : j + 1;
+    for (index_t i = ibegin; i < iend; ++i) {
+      c[i + j * ldc] = (beta == 0.0) ? 0.0 : beta * c[i + j * ldc];
+    }
+  }
+  if (k == 0 || alpha == 0.0) return;
+
+  auto op = [&](index_t i, index_t l) {
+    return trans == Trans::NoTrans ? a[i + l * lda] : a[l + i * lda];
+  };
+  for (index_t j = 0; j < n; ++j) {
+    const index_t ibegin = (uplo == Uplo::Lower) ? j : 0;
+    const index_t iend = (uplo == Uplo::Lower) ? n : j + 1;
+    for (index_t i = ibegin; i < iend; ++i) {
+      double sum = 0.0;
+      for (index_t l = 0; l < k; ++l) sum += op(i, l) * op(j, l);
+      c[i + j * ldc] += alpha * sum;
+    }
+  }
+}
+
+void symm(Side side, Uplo uplo, index_t m, index_t n, double alpha,
+          const double* a, index_t lda, const double* b, index_t ldb,
+          double beta, double* c, index_t ldc) {
+  detail::check_symm(side, m, n, lda, ldb, ldc);
+  if (m == 0 || n == 0) return;
+  scale_matrix(m, n, beta, c, ldc);
+  if (alpha == 0.0) return;
+
+  // Symmetric element accessor reading only the stored triangle.
+  auto sym = [&](index_t i, index_t j) {
+    const bool stored = (uplo == Uplo::Lower) ? (i >= j) : (i <= j);
+    return stored ? a[i + j * lda] : a[j + i * lda];
+  };
+
+  if (side == Side::Left) {  // C += alpha * A * B, A is m x m symmetric
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        double sum = 0.0;
+        for (index_t l = 0; l < m; ++l) sum += sym(i, l) * b[l + j * ldb];
+        c[i + j * ldc] += alpha * sum;
+      }
+    }
+  } else {  // C += alpha * B * A, A is n x n symmetric
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t l = 0; l < n; ++l) {
+        const double alj = alpha * sym(l, j);
+        if (alj == 0.0) continue;
+        const double* bcol = b + l * ldb;
+        double* ccol = c + j * ldc;
+        for (index_t i = 0; i < m; ++i) ccol[i] += alj * bcol[i];
+      }
+    }
+  }
+}
+
+void syr2k(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+           const double* a, index_t lda, const double* b, index_t ldb,
+           double beta, double* c, index_t ldc) {
+  detail::check_syrk(trans, n, k, lda, ldc);
+  DLAP_REQUIRE(ldb >= ((trans == Trans::NoTrans ? n : k) > 0
+                           ? (trans == Trans::NoTrans ? n : k)
+                           : 1),
+               "syr2k: ldb too small");
+  if (n == 0) return;
+  for (index_t j = 0; j < n; ++j) {
+    const index_t ibegin = (uplo == Uplo::Lower) ? j : 0;
+    const index_t iend = (uplo == Uplo::Lower) ? n : j + 1;
+    for (index_t i = ibegin; i < iend; ++i) {
+      c[i + j * ldc] = (beta == 0.0) ? 0.0 : beta * c[i + j * ldc];
+    }
+  }
+  if (k == 0 || alpha == 0.0) return;
+
+  auto opa = [&](index_t i, index_t l) {
+    return trans == Trans::NoTrans ? a[i + l * lda] : a[l + i * lda];
+  };
+  auto opb = [&](index_t i, index_t l) {
+    return trans == Trans::NoTrans ? b[i + l * ldb] : b[l + i * ldb];
+  };
+  for (index_t j = 0; j < n; ++j) {
+    const index_t ibegin = (uplo == Uplo::Lower) ? j : 0;
+    const index_t iend = (uplo == Uplo::Lower) ? n : j + 1;
+    for (index_t i = ibegin; i < iend; ++i) {
+      double sum = 0.0;
+      for (index_t l = 0; l < k; ++l) {
+        sum += opa(i, l) * opb(j, l) + opb(i, l) * opa(j, l);
+      }
+      c[i + j * ldc] += alpha * sum;
+    }
+  }
+}
+
+}  // namespace ref
+}  // namespace dlap::blas

@@ -1,0 +1,35 @@
+#pragma once
+// Reference (textbook) level-3 kernels.
+//
+// These free functions are the library's correctness oracle and also serve
+// as the small-diagonal-block kernels inside the blocked and packed
+// backends. They implement the full BLAS semantics (all flag combinations,
+// alpha/beta scaling, quick returns) with straightforward loops.
+
+#include "blas/flags.hpp"
+#include "common/types.hpp"
+
+namespace dlap::blas::ref {
+
+void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+          double alpha, const double* a, index_t lda, const double* b,
+          index_t ldb, double beta, double* c, index_t ldc);
+
+void trsm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m, index_t n,
+          double alpha, const double* a, index_t lda, double* b, index_t ldb);
+
+void trmm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m, index_t n,
+          double alpha, const double* a, index_t lda, double* b, index_t ldb);
+
+void syrk(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+          const double* a, index_t lda, double beta, double* c, index_t ldc);
+
+void symm(Side side, Uplo uplo, index_t m, index_t n, double alpha,
+          const double* a, index_t lda, const double* b, index_t ldb,
+          double beta, double* c, index_t ldc);
+
+void syr2k(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+           const double* a, index_t lda, const double* b, index_t ldb,
+           double beta, double* c, index_t ldc);
+
+}  // namespace dlap::blas::ref

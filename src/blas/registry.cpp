@@ -1,0 +1,51 @@
+#include "blas/registry.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "blas/blocked_backend.hpp"
+#include "blas/naive_backend.hpp"
+#include "blas/packed_backend.hpp"
+#include "blas/threaded_backend.hpp"
+#include "common/str.hpp"
+
+namespace dlap {
+
+namespace {
+
+std::unique_ptr<Level3Backend> make_sequential(const std::string& name) {
+  if (name == "naive") return std::make_unique<NaiveBackend>();
+  if (name == "blocked") return std::make_unique<BlockedBackend>();
+  if (name == "packed") return std::make_unique<PackedBackend>();
+  throw lookup_error("unknown BLAS backend: '" + name + "'");
+}
+
+}  // namespace
+
+std::unique_ptr<Level3Backend> make_backend(const std::string& spec) {
+  const auto at = spec.find('@');
+  if (at == std::string::npos) return make_sequential(spec);
+  const std::string base = spec.substr(0, at);
+  const long long threads = parse_int(spec.substr(at + 1));
+  DLAP_REQUIRE(threads >= 1 && threads <= 1024,
+               "thread count out of range in backend spec '" + spec + "'");
+  return std::make_unique<ThreadedBackend>(make_sequential(base),
+                                           static_cast<index_t>(threads));
+}
+
+Level3Backend& backend_instance(const std::string& spec) {
+  static std::mutex mutex;
+  static std::map<std::string, std::unique_ptr<Level3Backend>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(spec);
+  if (it == cache.end()) {
+    it = cache.emplace(spec, make_backend(spec)).first;
+  }
+  return *it->second;
+}
+
+std::vector<std::string> builtin_backend_names() {
+  return {"naive", "blocked", "packed"};
+}
+
+}  // namespace dlap

@@ -1,0 +1,31 @@
+#pragma once
+// Backend registry: resolves implementation names to live backends.
+//
+// Model repository entries are keyed by implementation name (the paper's
+// "fixed implementation" in Section III-B); the registry maps those names
+// back to executable backends. Spec grammar:
+//   "naive" | "blocked" | "packed"          sequential backends
+//   "<name>@<threads>"                      threaded decorator, e.g.
+//                                           "blocked@8"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blas/backend.hpp"
+
+namespace dlap {
+
+/// Creates a fresh backend from a spec; throws dlap::lookup_error on an
+/// unknown name and dlap::parse_error on a malformed thread suffix.
+[[nodiscard]] std::unique_ptr<Level3Backend> make_backend(
+    const std::string& spec);
+
+/// Process-wide cache of backends by spec (threaded backends own thread
+/// pools, so reusing instances matters). Thread-safe.
+[[nodiscard]] Level3Backend& backend_instance(const std::string& spec);
+
+/// Names of the three sequential built-in backends.
+[[nodiscard]] std::vector<std::string> builtin_backend_names();
+
+}  // namespace dlap

@@ -1,0 +1,195 @@
+#include "blas/threaded_backend.hpp"
+
+#include <algorithm>
+
+namespace dlap {
+
+ThreadedBackend::ThreadedBackend(std::unique_ptr<Level3Backend> inner,
+                                 index_t threads)
+    : inner_(std::move(inner)), nthreads_(threads) {
+  DLAP_REQUIRE(inner_ != nullptr, "threaded backend needs an inner backend");
+  DLAP_REQUIRE(threads >= 1, "thread count must be >= 1");
+  // The calling thread participates in parallel_for, so the pool itself
+  // only needs threads-1 workers.
+  pool_ = std::make_unique<ThreadPool>(std::max<index_t>(1, threads - 1));
+}
+
+std::string ThreadedBackend::name() const {
+  return inner_->name() + "@" + std::to_string(nthreads_);
+}
+
+void ThreadedBackend::gemm(Trans transa, Trans transb, index_t m, index_t n,
+                           index_t k, double alpha, const double* a,
+                           index_t lda, const double* b, index_t ldb,
+                           double beta, double* c, index_t ldc) {
+  if (m * n <= kSequentialCutoff || nthreads_ == 1) {
+    inner_->gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                 ldc);
+    return;
+  }
+  // Partition the widest output dimension so chunks stay column-shaped.
+  if (n >= m) {
+    pool_->parallel_for(0, n, [&](index_t j0, index_t j1) {
+      if (j0 == j1) return;
+      const double* bchunk = (transb == Trans::NoTrans) ? b + j0 * ldb
+                                                        : b + j0;
+      inner_->gemm(transa, transb, m, j1 - j0, k, alpha, a, lda, bchunk, ldb,
+                   beta, c + j0 * ldc, ldc);
+    });
+  } else {
+    pool_->parallel_for(0, m, [&](index_t i0, index_t i1) {
+      if (i0 == i1) return;
+      const double* achunk = (transa == Trans::NoTrans) ? a + i0
+                                                        : a + i0 * lda;
+      inner_->gemm(transa, transb, i1 - i0, n, k, alpha, achunk, lda, b, ldb,
+                   beta, c + i0, ldc);
+    });
+  }
+}
+
+void ThreadedBackend::trsm(Side side, Uplo uplo, Trans transa, Diag diag,
+                           index_t m, index_t n, double alpha,
+                           const double* a, index_t lda, double* b,
+                           index_t ldb) {
+  if (m * n <= kSequentialCutoff || nthreads_ == 1) {
+    inner_->trsm(side, uplo, transa, diag, m, n, alpha, a, lda, b, ldb);
+    return;
+  }
+  if (side == Side::Left) {
+    // Columns of B are independent solves.
+    pool_->parallel_for(0, n, [&](index_t j0, index_t j1) {
+      if (j0 == j1) return;
+      inner_->trsm(side, uplo, transa, diag, m, j1 - j0, alpha, a, lda,
+                   b + j0 * ldb, ldb);
+    });
+  } else {
+    // Rows of B are independent solves.
+    pool_->parallel_for(0, m, [&](index_t i0, index_t i1) {
+      if (i0 == i1) return;
+      inner_->trsm(side, uplo, transa, diag, i1 - i0, n, alpha, a, lda,
+                   b + i0, ldb);
+    });
+  }
+}
+
+void ThreadedBackend::trmm(Side side, Uplo uplo, Trans transa, Diag diag,
+                           index_t m, index_t n, double alpha,
+                           const double* a, index_t lda, double* b,
+                           index_t ldb) {
+  if (m * n <= kSequentialCutoff || nthreads_ == 1) {
+    inner_->trmm(side, uplo, transa, diag, m, n, alpha, a, lda, b, ldb);
+    return;
+  }
+  if (side == Side::Left) {
+    pool_->parallel_for(0, n, [&](index_t j0, index_t j1) {
+      if (j0 == j1) return;
+      inner_->trmm(side, uplo, transa, diag, m, j1 - j0, alpha, a, lda,
+                   b + j0 * ldb, ldb);
+    });
+  } else {
+    pool_->parallel_for(0, m, [&](index_t i0, index_t i1) {
+      if (i0 == i1) return;
+      inner_->trmm(side, uplo, transa, diag, i1 - i0, n, alpha, a, lda,
+                   b + i0, ldb);
+    });
+  }
+}
+
+void ThreadedBackend::syrk(Uplo uplo, Trans trans, index_t n, index_t k,
+                           double alpha, const double* a, index_t lda,
+                           double beta, double* c, index_t ldc) {
+  if (n * n <= kSequentialCutoff || nthreads_ == 1) {
+    inner_->syrk(uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+    return;
+  }
+  // Each chunk of block-columns [c0, c1) owns a disjoint part of the
+  // triangle: a small diagonal triangle plus a rectangular panel.
+  pool_->parallel_for(0, n, [&](index_t c0, index_t c1) {
+    if (c0 == c1) return;
+    const index_t w = c1 - c0;
+    const double* adiag = (trans == Trans::NoTrans) ? a + c0 : a + c0 * lda;
+    inner_->syrk(uplo, trans, w, k, alpha, adiag, lda, beta,
+                 c + c0 + c0 * ldc, ldc);
+    // Rectangle: rows below (Lower) resp. above (Upper) the diagonal chunk.
+    if (uplo == Uplo::Lower && c1 < n) {
+      const double* arow = (trans == Trans::NoTrans) ? a + c1 : a + c1 * lda;
+      if (trans == Trans::NoTrans) {
+        inner_->gemm(Trans::NoTrans, Trans::Transpose, n - c1, w, k, alpha,
+                     arow, lda, adiag, lda, beta, c + c1 + c0 * ldc, ldc);
+      } else {
+        inner_->gemm(Trans::Transpose, Trans::NoTrans, n - c1, w, k, alpha,
+                     arow, lda, adiag, lda, beta, c + c1 + c0 * ldc, ldc);
+      }
+    } else if (uplo == Uplo::Upper && c0 > 0) {
+      const double* atop = a;
+      if (trans == Trans::NoTrans) {
+        inner_->gemm(Trans::NoTrans, Trans::Transpose, c0, w, k, alpha, atop,
+                     lda, adiag, lda, beta, c + c0 * ldc, ldc);
+      } else {
+        inner_->gemm(Trans::Transpose, Trans::NoTrans, c0, w, k, alpha, atop,
+                     lda, adiag, lda, beta, c + c0 * ldc, ldc);
+      }
+    }
+  });
+}
+
+void ThreadedBackend::symm(Side side, Uplo uplo, index_t m, index_t n,
+                           double alpha, const double* a, index_t lda,
+                           const double* b, index_t ldb, double beta,
+                           double* c, index_t ldc) {
+  if (m * n <= kSequentialCutoff || nthreads_ == 1) {
+    inner_->symm(side, uplo, m, n, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+  if (side == Side::Left) {
+    // Column chunks of C are independent.
+    pool_->parallel_for(0, n, [&](index_t j0, index_t j1) {
+      if (j0 == j1) return;
+      inner_->symm(side, uplo, m, j1 - j0, alpha, a, lda, b + j0 * ldb, ldb,
+                   beta, c + j0 * ldc, ldc);
+    });
+  } else {
+    // Row chunks of C are independent.
+    pool_->parallel_for(0, m, [&](index_t i0, index_t i1) {
+      if (i0 == i1) return;
+      inner_->symm(side, uplo, i1 - i0, n, alpha, a, lda, b + i0, ldb, beta,
+                   c + i0, ldc);
+    });
+  }
+}
+
+void ThreadedBackend::syr2k(Uplo uplo, Trans trans, index_t n, index_t k,
+                            double alpha, const double* a, index_t lda,
+                            const double* b, index_t ldb, double beta,
+                            double* c, index_t ldc) {
+  if (n * n <= kSequentialCutoff || nthreads_ == 1) {
+    inner_->syr2k(uplo, trans, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+  pool_->parallel_for(0, n, [&](index_t c0, index_t c1) {
+    if (c0 == c1) return;
+    const index_t w = c1 - c0;
+    auto panel = [&](const double* p, index_t ld, index_t off) {
+      return (trans == Trans::NoTrans) ? p + off : p + off * ld;
+    };
+    inner_->syr2k(uplo, trans, w, k, alpha, panel(a, lda, c0), lda,
+                  panel(b, ldb, c0), ldb, beta, c + c0 + c0 * ldc, ldc);
+    const Trans t1 = (trans == Trans::NoTrans) ? Trans::NoTrans
+                                               : Trans::Transpose;
+    const Trans t2 = (trans == Trans::NoTrans) ? Trans::Transpose
+                                               : Trans::NoTrans;
+    if (uplo == Uplo::Lower && c1 < n) {
+      inner_->gemm(t1, t2, n - c1, w, k, alpha, panel(a, lda, c1), lda,
+                   panel(b, ldb, c0), ldb, beta, c + c1 + c0 * ldc, ldc);
+      inner_->gemm(t1, t2, n - c1, w, k, alpha, panel(b, ldb, c1), ldb,
+                   panel(a, lda, c0), lda, 1.0, c + c1 + c0 * ldc, ldc);
+    } else if (uplo == Uplo::Upper && c0 > 0) {
+      inner_->gemm(t1, t2, c0, w, k, alpha, panel(a, lda, 0), lda,
+                   panel(b, ldb, c0), ldb, beta, c + c0 * ldc, ldc);
+      inner_->gemm(t1, t2, c0, w, k, alpha, panel(b, ldb, 0), ldb,
+                   panel(a, lda, c0), lda, 1.0, c + c0 * ldc, ldc);
+    }
+  });
+}
+
+}  // namespace dlap

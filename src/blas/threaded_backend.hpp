@@ -1,0 +1,54 @@
+#pragma once
+// Threaded decorator over any sequential Level3Backend.
+//
+// Mirrors the paper's "multithreaded version of the OpenBLAS library"
+// (Section IV-A4): the same kernel interface, but level-3 calls are
+// partitioned across a thread pool. Partitioning is by independent output
+// regions, so no synchronization beyond the fork/join per call is needed.
+
+#include <memory>
+
+#include "blas/backend.hpp"
+#include "common/threadpool.hpp"
+
+namespace dlap {
+
+class ThreadedBackend final : public Level3Backend {
+ public:
+  /// Takes ownership of the sequential backend used by every worker.
+  ThreadedBackend(std::unique_ptr<Level3Backend> inner, index_t threads);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] index_t threads() const override { return nthreads_; }
+
+  void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+            double alpha, const double* a, index_t lda, const double* b,
+            index_t ldb, double beta, double* c, index_t ldc) override;
+  void trsm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m,
+            index_t n, double alpha, const double* a, index_t lda, double* b,
+            index_t ldb) override;
+  void trmm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m,
+            index_t n, double alpha, const double* a, index_t lda, double* b,
+            index_t ldb) override;
+  void syrk(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+            const double* a, index_t lda, double beta, double* c,
+            index_t ldc) override;
+  void symm(Side side, Uplo uplo, index_t m, index_t n, double alpha,
+            const double* a, index_t lda, const double* b, index_t ldb,
+            double beta, double* c, index_t ldc) override;
+  void syr2k(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+             const double* a, index_t lda, const double* b, index_t ldb,
+             double beta, double* c, index_t ldc) override;
+
+ private:
+  /// Work below this many output elements runs sequentially: fork/join
+  /// overhead would dominate (also keeps tiny model-generation samples
+  /// meaningful).
+  static constexpr index_t kSequentialCutoff = 64 * 64;
+
+  std::unique_ptr<Level3Backend> inner_;
+  std::unique_ptr<ThreadPool> pool_;
+  index_t nthreads_;
+};
+
+}  // namespace dlap

@@ -1,0 +1,31 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace dlap {
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr) ? fallback : std::string(v);
+}
+
+long long env_int(const char* name, long long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool paper_scale() {
+  const std::string v = env_string("DLAPERF_PAPER_SCALE", "");
+  return !v.empty() && v != "0";
+}
+
+long long rep_multiplier() {
+  const long long r = env_int("DLAPERF_REPS", 1);
+  return r > 0 ? r : 1;
+}
+
+}  // namespace dlap

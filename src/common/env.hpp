@@ -1,0 +1,29 @@
+#pragma once
+// Environment-variable driven configuration.
+//
+// Every figure-reproduction binary supports two scales:
+//   - default: CI-friendly domains that finish in seconds/minutes,
+//   - DLAPERF_PAPER_SCALE=1: the exact domains used in the paper.
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dlap {
+
+/// Returns the value of environment variable `name`, or `fallback` if unset.
+[[nodiscard]] std::string env_string(const char* name,
+                                     const std::string& fallback);
+
+/// Returns an integer environment variable, or `fallback` if unset/bad.
+[[nodiscard]] long long env_int(const char* name, long long fallback);
+
+/// True when DLAPERF_PAPER_SCALE is set to a non-zero/non-empty value;
+/// benches then use the paper's full parameter domains.
+[[nodiscard]] bool paper_scale();
+
+/// Global sampling-effort multiplier (DLAPERF_REPS, default 1); benches
+/// multiply their repetition counts by this.
+[[nodiscard]] long long rep_multiplier();
+
+}  // namespace dlap

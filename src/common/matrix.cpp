@@ -1,0 +1,14 @@
+#include "common/matrix.hpp"
+
+// Matrix and its views are header-only; this translation unit exists so the
+// module library always has at least one object file and to anchor vtables
+// if views ever grow virtual behaviour.
+
+namespace dlap {
+namespace {
+// Compile-time sanity: views must remain trivially copyable so they can be
+// passed by value through kernel interfaces without cost.
+static_assert(std::is_trivially_copyable_v<MatrixView>);
+static_assert(std::is_trivially_copyable_v<ConstMatrixView>);
+}  // namespace
+}  // namespace dlap

@@ -1,0 +1,148 @@
+#pragma once
+// Column-major matrix container and non-owning views.
+//
+// The whole library speaks the BLAS storage convention: an m x n matrix is
+// a pointer plus a leading dimension ld >= m; element (i, j) lives at
+// data[i + j * ld]. `Matrix` owns its buffer; `MatrixView` /
+// `ConstMatrixView` are cheap non-owning windows used to express the
+// submatrix partitionings of blocked algorithms (L00, L10, ... in the
+// paper's notation).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dlap {
+
+class ConstMatrixView;
+
+/// Mutable non-owning view of a column-major matrix block.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    DLAP_REQUIRE(rows >= 0 && cols >= 0, "negative dimension");
+    DLAP_REQUIRE(ld >= rows || (rows == 0 && ld >= 0), "ld must be >= rows");
+  }
+
+  [[nodiscard]] double* data() const noexcept { return data_; }
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t ld() const noexcept { return ld_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] double& operator()(index_t i, index_t j) const {
+    DLAP_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * ld_];
+  }
+
+  /// Sub-block of size r x c with top-left corner (i, j).
+  [[nodiscard]] MatrixView block(index_t i, index_t j, index_t r,
+                                 index_t c) const {
+    DLAP_REQUIRE(i >= 0 && j >= 0 && r >= 0 && c >= 0, "negative block spec");
+    DLAP_REQUIRE(i + r <= rows_ && j + c <= cols_, "block out of range");
+    return MatrixView(data_ + i + j * ld_, r, c, ld_);
+  }
+
+ private:
+  double* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+/// Read-only non-owning view of a column-major matrix block.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    DLAP_REQUIRE(rows >= 0 && cols >= 0, "negative dimension");
+    DLAP_REQUIRE(ld >= rows || (rows == 0 && ld >= 0), "ld must be >= rows");
+  }
+  ConstMatrixView(MatrixView v)  // NOLINT(google-explicit-constructor)
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()), ld_(v.ld()) {}
+
+  [[nodiscard]] const double* data() const noexcept { return data_; }
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t ld() const noexcept { return ld_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] const double& operator()(index_t i, index_t j) const {
+    DLAP_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * ld_];
+  }
+
+  [[nodiscard]] ConstMatrixView block(index_t i, index_t j, index_t r,
+                                      index_t c) const {
+    DLAP_REQUIRE(i >= 0 && j >= 0 && r >= 0 && c >= 0, "negative block spec");
+    DLAP_REQUIRE(i + r <= rows_ && j + c <= cols_, "block out of range");
+    return ConstMatrixView(data_ + i + j * ld_, r, c, ld_);
+  }
+
+ private:
+  const double* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+/// Owning column-major matrix. The leading dimension may exceed the row
+/// count (as the paper's model generation fixes ld = 2500 regardless of m).
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// m x n matrix with ld == m, zero-initialized.
+  Matrix(index_t rows, index_t cols) : Matrix(rows, cols, rows) {}
+
+  /// m x n matrix with explicit leading dimension, zero-initialized.
+  Matrix(index_t rows, index_t cols, index_t ld)
+      : rows_(rows), cols_(cols), ld_(ld) {
+    DLAP_REQUIRE(rows >= 0 && cols >= 0, "negative dimension");
+    DLAP_REQUIRE(ld >= rows || (rows == 0 && ld >= 0), "ld must be >= rows");
+    buffer_.assign(static_cast<std::size_t>(ld_ * cols_), 0.0);
+  }
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t ld() const noexcept { return ld_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] double* data() noexcept { return buffer_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return buffer_.data(); }
+
+  [[nodiscard]] double& operator()(index_t i, index_t j) {
+    DLAP_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return buffer_[static_cast<std::size_t>(i + j * ld_)];
+  }
+  [[nodiscard]] const double& operator()(index_t i, index_t j) const {
+    DLAP_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return buffer_[static_cast<std::size_t>(i + j * ld_)];
+  }
+
+  [[nodiscard]] MatrixView view() {
+    return MatrixView(data(), rows_, cols_, ld_);
+  }
+  [[nodiscard]] ConstMatrixView view() const {
+    return ConstMatrixView(data(), rows_, cols_, ld_);
+  }
+  [[nodiscard]] MatrixView block(index_t i, index_t j, index_t r, index_t c) {
+    return view().block(i, j, r, c);
+  }
+  [[nodiscard]] ConstMatrixView block(index_t i, index_t j, index_t r,
+                                      index_t c) const {
+    return view().block(i, j, r, c);
+  }
+
+ private:
+  std::vector<double> buffer_;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+}  // namespace dlap

@@ -1,0 +1,100 @@
+#include "common/matrix_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlap {
+
+void fill_uniform(MatrixView a, Rng& rng, double lo, double hi) {
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      a(i, j) = rng.uniform(lo, hi);
+    }
+  }
+}
+
+namespace {
+// Triangular factor with unit-magnitude diagonal and small off-diagonal
+// entries keeps cond(L) modest, so L^{-1} and Sylvester solves are
+// numerically trustworthy for any test size.
+void fill_triangular(MatrixView a, Rng& rng, bool lower) {
+  DLAP_REQUIRE(a.rows() == a.cols(), "triangular fill needs a square matrix");
+  const index_t n = a.rows();
+  const double scale = (n > 0) ? 1.0 / static_cast<double>(n) : 1.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      const bool in_triangle = lower ? (i > j) : (i < j);
+      if (i == j) {
+        // Diagonal in [1, 2): bounded away from zero, same sign.
+        a(i, j) = 1.0 + rng.uniform();
+      } else if (in_triangle) {
+        a(i, j) = rng.uniform(-1.0, 1.0) * scale;
+      } else {
+        a(i, j) = 0.0;
+      }
+    }
+  }
+}
+}  // namespace
+
+void fill_lower_triangular(MatrixView a, Rng& rng) {
+  fill_triangular(a, rng, /*lower=*/true);
+}
+
+void fill_upper_triangular(MatrixView a, Rng& rng) {
+  fill_triangular(a, rng, /*lower=*/false);
+}
+
+void copy_matrix(ConstMatrixView src, MatrixView dst) {
+  DLAP_REQUIRE(src.rows() == dst.rows() && src.cols() == dst.cols(),
+               "shape mismatch in copy_matrix");
+  for (index_t j = 0; j < src.cols(); ++j) {
+    for (index_t i = 0; i < src.rows(); ++i) {
+      dst(i, j) = src(i, j);
+    }
+  }
+}
+
+void set_identity(MatrixView a) {
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      a(i, j) = (i == j) ? 1.0 : 0.0;
+    }
+  }
+}
+
+double frobenius_norm(ConstMatrixView a) {
+  double sum = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      sum += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+double max_abs(ConstMatrixView a) {
+  double m = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      m = std::max(m, std::abs(a(i, j)));
+    }
+  }
+  return m;
+}
+
+double relative_diff(ConstMatrixView a, ConstMatrixView b) {
+  DLAP_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+               "shape mismatch in relative_diff");
+  double num = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double d = a(i, j) - b(i, j);
+      num += d * d;
+    }
+  }
+  const double den = frobenius_norm(b);
+  return std::sqrt(num) / std::max(1.0, den);
+}
+
+}  // namespace dlap

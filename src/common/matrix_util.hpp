@@ -1,0 +1,38 @@
+#pragma once
+// Operand construction and comparison helpers used by tests, examples and
+// the experiment harness: random fills, well-conditioned triangular
+// factors, norms and relative differences.
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace dlap {
+
+/// Fills every element of `a` with uniform values in [lo, hi).
+void fill_uniform(MatrixView a, Rng& rng, double lo = -1.0, double hi = 1.0);
+
+/// Fills `a` with a well-conditioned lower-triangular matrix: off-diagonal
+/// uniform in [-1,1]/rows, diagonal shifted to ~1 so inverses stay bounded.
+/// The strictly upper part is zeroed.
+void fill_lower_triangular(MatrixView a, Rng& rng);
+
+/// Same, upper-triangular (strictly lower part zeroed).
+void fill_upper_triangular(MatrixView a, Rng& rng);
+
+/// Copies src into dst elementwise; shapes must match (lds may differ).
+void copy_matrix(ConstMatrixView src, MatrixView dst);
+
+/// Sets `a` to the identity (rectangular: ones on the main diagonal).
+void set_identity(MatrixView a);
+
+/// Frobenius norm.
+[[nodiscard]] double frobenius_norm(ConstMatrixView a);
+
+/// Max-abs-element norm.
+[[nodiscard]] double max_abs(ConstMatrixView a);
+
+/// ||a - b||_F / max(1, ||b||_F); shapes must match.
+[[nodiscard]] double relative_diff(ConstMatrixView a, ConstMatrixView b);
+
+}  // namespace dlap

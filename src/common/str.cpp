@@ -1,0 +1,82 @@
+#include "common/str.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "common/types.hpp"
+
+namespace dlap {
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_trimmed(std::string_view s, char sep) {
+  std::vector<std::string> out = split(s, sep);
+  for (std::string& f : out) f = std::string(trim(f));
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+long long parse_int(std::string_view s) {
+  s = trim(s);
+  long long value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    throw parse_error("not an integer: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+double parse_double(std::string_view s) {
+  s = trim(s);
+  // std::from_chars for double is available in libstdc++ 11+; use it and
+  // fall back to strtod semantics through a NUL-terminated copy otherwise.
+  std::string buf(s);
+  if (buf.empty()) throw parse_error("not a number: ''");
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    throw parse_error("not a number: '" + buf + "'");
+  }
+  return value;
+}
+
+}  // namespace dlap

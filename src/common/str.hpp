@@ -1,0 +1,37 @@
+#pragma once
+// Small string utilities used by the sampler's textual call interface and
+// the model repository's serialization format.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlap {
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits `s` at every occurrence of `sep`; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits and trims each field; empty fields after trimming are preserved.
+[[nodiscard]] std::vector<std::string> split_trimmed(std::string_view s,
+                                                     char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII characters.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Parses a signed integer; throws dlap::parse_error on malformed input.
+[[nodiscard]] long long parse_int(std::string_view s);
+
+/// Parses a double; throws dlap::parse_error on malformed input.
+[[nodiscard]] double parse_double(std::string_view s);
+
+}  // namespace dlap

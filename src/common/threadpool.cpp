@@ -1,0 +1,107 @@
+#include "common/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace dlap {
+
+// Per-parallel_for completion state shared between the caller and workers.
+struct Sync {
+  std::mutex m;
+  std::condition_variable done_cv;
+  index_t pending = 0;
+  std::exception_ptr error;
+
+  void finish_one(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(m);
+    if (e && !error) error = e;
+    if (--pending == 0) done_cv.notify_all();
+  }
+};
+
+ThreadPool::ThreadPool(index_t workers) {
+  index_t n = workers;
+  if (n <= 0) {
+    n = static_cast<index_t>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 1;
+  }
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = queue_.front();
+      queue_.pop();
+    }
+    std::exception_ptr error;
+    try {
+      (*task.fn)(task.begin, task.end);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    task.sync->finish_one(error);
+  }
+}
+
+void ThreadPool::parallel_for(
+    index_t begin, index_t end,
+    const std::function<void(index_t, index_t)>& fn) {
+  DLAP_REQUIRE(begin <= end, "empty-or-reversed range");
+  const index_t total = end - begin;
+  if (total == 0) return;
+
+  const index_t nchunks =
+      std::min<index_t>(worker_count() + 1, total);  // +1: caller joins in
+  const index_t base = total / nchunks;
+  const index_t extra = total % nchunks;
+
+  Sync sync;
+  sync.pending = nchunks - 1;  // chunks handed to the pool
+
+  index_t cursor = begin;
+  // Enqueue all but the last chunk; the caller runs the last one itself so
+  // a pool of size zero (or a busy pool) can never deadlock.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (index_t c = 0; c + 1 < nchunks; ++c) {
+      const index_t len = base + (c < extra ? 1 : 0);
+      queue_.push(Task{cursor, cursor + len, &fn, &sync});
+      cursor += len;
+    }
+  }
+  cv_.notify_all();
+
+  std::exception_ptr my_error;
+  try {
+    fn(cursor, end);
+  } catch (...) {
+    my_error = std::current_exception();
+  }
+
+  if (nchunks > 1) {
+    std::unique_lock<std::mutex> lock(sync.m);
+    sync.done_cv.wait(lock, [&sync] { return sync.pending == 0; });
+  }
+  if (my_error) std::rethrow_exception(my_error);
+  if (sync.error) std::rethrow_exception(sync.error);
+}
+
+}  // namespace dlap

@@ -1,0 +1,60 @@
+#pragma once
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// The threaded BLAS layer (blas/threaded.hpp) uses this pool to partition
+// level-3 kernels across worker threads, mirroring the paper's use of
+// multithreaded OpenBLAS in Section IV-A4. The pool is deliberately simple:
+// a shared queue of range-tasks, condition-variable wakeups, and a
+// completion latch per parallel_for. It is safe to create a pool with more
+// workers than hardware threads (the single-core CI machine oversubscribes).
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dlap {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(index_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] index_t worker_count() const noexcept {
+    return static_cast<index_t>(threads_.size());
+  }
+
+  /// Runs fn(chunk_begin, chunk_end) over [begin, end) split into roughly
+  /// equal contiguous chunks, one per worker; blocks until all complete.
+  /// The calling thread participates, so the pool also works when the body
+  /// itself is cheap. Exceptions from the body propagate to the caller
+  /// (first one wins).
+  void parallel_for(index_t begin, index_t end,
+                    const std::function<void(index_t, index_t)>& fn);
+
+ private:
+  struct Task {
+    index_t begin = 0;
+    index_t end = 0;
+    const std::function<void(index_t, index_t)>* fn = nullptr;
+    struct Sync* sync = nullptr;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<Task> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace dlap

@@ -1,0 +1,164 @@
+#include <algorithm>
+#include <deque>
+
+#include "modeler/fit.hpp"
+#include "modeler/sample_cache.hpp"
+#include "modeler/strategies.hpp"
+
+namespace dlap {
+
+namespace {
+
+// Expansion bookkeeping for one region being grown inside a cover box.
+// With Direction::AwayFromOrigin the region is anchored at the box's low
+// corner and its high bound moves; TowardOrigin mirrors this.
+struct GrowState {
+  Region box;      // the part of the domain this region must help cover
+  Region region;   // current accepted extent
+  std::vector<bool> active;  // dimension can still be grown
+};
+
+index_t snap_down(index_t x, index_t g) { return (x / g) * g; }
+
+}  // namespace
+
+GenerationResult generate_model_expansion(const Region& domain,
+                                          const MeasureFn& measure,
+                                          const ExpansionConfig& config) {
+  const GeneratorConfig& base = config.base;
+  DLAP_REQUIRE(base.error_bound > 0.0, "expansion: error bound must be > 0");
+  DLAP_REQUIRE(config.initial_size >= base.granularity,
+               "expansion: initial size below granularity");
+  const int dims = domain.dims();
+  const index_t g = base.granularity;
+  const bool away = config.direction == ExpansionConfig::Direction::AwayFromOrigin;
+
+  SampleCache cache(measure);
+  GenerationResult result;
+  std::vector<RegionModel> pieces;
+
+  // Queue of uncovered boxes; start with the whole domain.
+  std::deque<Region> boxes;
+  boxes.push_back(domain);
+
+  // s_ini snapped to the lattice.
+  const index_t sini = std::max(g, snap_down(config.initial_size, g));
+
+  while (!boxes.empty()) {
+    const Region box = boxes.front();
+    boxes.pop_front();
+
+    // Seed the region at the box's anchor corner with extent ~ s_ini.
+    std::vector<index_t> rlo(dims), rhi(dims);
+    for (int d = 0; d < dims; ++d) {
+      const index_t span = std::min(sini, box.extent(d));
+      if (away) {
+        rlo[d] = box.lo(d);
+        rhi[d] = box.lo(d) + span;
+      } else {
+        rhi[d] = box.hi(d);
+        rlo[d] = box.hi(d) - span;
+      }
+    }
+    GrowState st{box, Region(rlo, rhi),
+                 std::vector<bool>(static_cast<std::size_t>(dims), true)};
+
+    auto fit_region = [&](const Region& r) {
+      const auto samples = cache.gather(
+          r.sample_grid(effective_grid_points(base, r.dims()), g));
+      return std::pair<FitResult, index_t>(
+          fit_polynomial(r, samples, base.degree),
+          static_cast<index_t>(samples.size()));
+    };
+
+    auto [fit, used] = fit_region(st.region);
+    result.events.push_back({GenerationEvent::Kind::NewRegion, st.region,
+                             fit.erelmax, cache.unique_samples()});
+
+    // Growth is bounded by the *domain* (not the box), so regions may
+    // overlap previously covered territory -- the paper's overlapping
+    // regions (Fig III.6) arise the same way.
+    for (int d = 0; d < dims; ++d) {
+      const bool at_edge = away ? (st.region.hi(d) >= domain.hi(d))
+                                : (st.region.lo(d) <= domain.lo(d));
+      if (at_edge) st.active[d] = false;
+    }
+
+    while (std::any_of(st.active.begin(), st.active.end(),
+                       [](bool a) { return a; })) {
+      for (int d = 0; d < dims; ++d) {
+        if (!st.active[d]) continue;
+        // Double the extent along d (at least one lattice step).
+        const index_t grow = std::max(g, snap_down(st.region.extent(d), g));
+        std::vector<index_t> nlo = st.region.lo();
+        std::vector<index_t> nhi = st.region.hi();
+        if (away) {
+          nhi[d] = std::min(domain.hi(d), nhi[d] + grow);
+        } else {
+          nlo[d] = std::max(domain.lo(d), nlo[d] - grow);
+        }
+        Region candidate(nlo, nhi);
+        auto [cfit, cused] = fit_region(candidate);
+        if (cfit.erelmax <= base.error_bound) {
+          st.region = candidate;
+          fit = std::move(cfit);
+          used = cused;
+          result.events.push_back({GenerationEvent::Kind::Expanded,
+                                   st.region, fit.erelmax,
+                                   cache.unique_samples()});
+          const bool at_edge = away ? (st.region.hi(d) >= domain.hi(d))
+                                    : (st.region.lo(d) <= domain.lo(d));
+          if (at_edge) st.active[d] = false;
+        } else {
+          result.events.push_back({GenerationEvent::Kind::Rejected, candidate,
+                                   cfit.erelmax, cache.unique_samples()});
+          st.active[d] = false;
+        }
+      }
+    }
+
+    pieces.push_back({st.region, fit.poly, fit.erelmax, fit.mean_rel_error,
+                      used});
+    result.events.push_back({GenerationEvent::Kind::Finalized, st.region,
+                             fit.erelmax, cache.unique_samples()});
+
+    // Guillotine remainder of the box beyond the accepted region: one
+    // staircase strip per dimension keeps the strips disjoint.
+    const Region& r = st.region;
+    for (int d = 0; d < dims; ++d) {
+      std::vector<index_t> slo(dims), shi(dims);
+      bool empty = false;
+      for (int e = 0; e < dims; ++e) {
+        if (e == d) {
+          if (away) {
+            if (r.hi(d) >= box.hi(d)) { empty = true; break; }
+            slo[e] = r.hi(d) + g;
+            shi[e] = box.hi(d);
+          } else {
+            if (r.lo(d) <= box.lo(d)) { empty = true; break; }
+            slo[e] = box.lo(d);
+            shi[e] = r.lo(d) - g;
+          }
+          if (slo[e] > shi[e]) { empty = true; break; }
+        } else if (e < d) {
+          // Dimensions already handled by earlier strips: restrict to the
+          // region's footprint.
+          slo[e] = std::max(box.lo(e), r.lo(e));
+          shi[e] = std::min(box.hi(e), r.hi(e));
+          if (slo[e] > shi[e]) { empty = true; break; }
+        } else {
+          slo[e] = box.lo(e);
+          shi[e] = box.hi(e);
+        }
+      }
+      if (!empty) boxes.emplace_back(slo, shi);
+    }
+  }
+
+  result.model = PiecewiseModel(domain, std::move(pieces));
+  result.unique_samples = cache.unique_samples();
+  result.average_error = result.model.average_error();
+  return result;
+}
+
+}  // namespace dlap

@@ -1,0 +1,77 @@
+#include "modeler/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "modeler/lstsq.hpp"
+
+namespace dlap {
+
+double relative_error(double estimate, double observed) {
+  const double den = std::max(std::abs(observed), 1e-9);
+  return std::abs(estimate - observed) / den;
+}
+
+FitResult fit_polynomial(const Region& region,
+                         const std::vector<SamplePoint>& samples,
+                         int degree) {
+  DLAP_REQUIRE(!samples.empty(), "fit: no samples");
+  DLAP_REQUIRE(degree >= 0, "fit: negative degree");
+  const int dims = region.dims();
+
+  // Normalize inputs to roughly [-1, 1] over the region.
+  Normalization norm;
+  norm.shift.resize(dims);
+  norm.scale.resize(dims);
+  for (int d = 0; d < dims; ++d) {
+    norm.shift[d] = 0.5 * static_cast<double>(region.lo(d) + region.hi(d));
+    norm.scale[d] =
+        std::max(0.5 * static_cast<double>(region.extent(d)), 1.0);
+  }
+
+  const auto basis = monomial_basis(dims, degree);
+  const index_t ncoef = static_cast<index_t>(basis.size());
+  const index_t npts = static_cast<index_t>(samples.size());
+
+  // Shared design matrix; five right-hand sides (one per statistic).
+  Matrix a(npts, ncoef);
+  Matrix b(npts, kStatCount);
+  std::vector<double> xr(dims), phi;
+  for (index_t i = 0; i < npts; ++i) {
+    for (int d = 0; d < dims; ++d) {
+      xr[d] = static_cast<double>(samples[i].x[d]);
+    }
+    evaluate_basis(basis, norm.apply(xr), phi);
+    for (index_t m = 0; m < ncoef; ++m) a(i, m) = phi[m];
+    const auto vals = samples[i].stats.as_array();
+    for (int s = 0; s < kStatCount; ++s) b(i, s) = vals[s];
+  }
+
+  const LstsqResult sol = lstsq(a.view(), b.view());
+
+  std::vector<std::vector<double>> coeffs(kStatCount);
+  for (int s = 0; s < kStatCount; ++s) {
+    coeffs[s].resize(ncoef);
+    for (index_t m = 0; m < ncoef; ++m) coeffs[s][m] = sol.x(m, s);
+  }
+
+  FitResult out;
+  out.poly = VecPolynomial(dims, degree, norm, std::move(coeffs));
+  out.rank = sol.rank;
+
+  // Accuracy of the median fit across the fitted samples.
+  double maxerr = 0.0;
+  double sumerr = 0.0;
+  for (const SamplePoint& sp : samples) {
+    for (int d = 0; d < dims; ++d) xr[d] = static_cast<double>(sp.x[d]);
+    const double est = out.poly.evaluate_stat(Stat::Median, xr);
+    const double err = relative_error(est, sp.stats.median);
+    maxerr = std::max(maxerr, err);
+    sumerr += err;
+  }
+  out.erelmax = maxerr;
+  out.mean_rel_error = sumerr / static_cast<double>(npts);
+  return out;
+}
+
+}  // namespace dlap

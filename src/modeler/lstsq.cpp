@@ -1,0 +1,160 @@
+#include "modeler/lstsq.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/matrix_util.hpp"
+
+namespace dlap {
+
+LstsqResult lstsq(ConstMatrixView a, ConstMatrixView b, double tol) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t nrhs = b.cols();
+  DLAP_REQUIRE(b.rows() == m, "lstsq: row mismatch between A and B");
+  DLAP_REQUIRE(m >= 1 && n >= 1, "lstsq: empty system");
+
+  // Working copies (the factorization is in place).
+  Matrix qr(m, n);
+  copy_matrix(a, qr.view());
+  Matrix rhs(m, nrhs);
+  copy_matrix(b, rhs.view());
+
+  std::vector<index_t> perm(n);
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  std::vector<double> colnorm2(n);
+  for (index_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (index_t i = 0; i < m; ++i) s += qr(i, j) * qr(i, j);
+    colnorm2[j] = s;
+  }
+  const double max_norm0 =
+      std::sqrt(*std::max_element(colnorm2.begin(), colnorm2.end()));
+
+  const index_t kmax = std::min(m, n);
+  index_t rank = 0;
+
+  for (index_t k = 0; k < kmax; ++k) {
+    // Column pivoting on the remaining norms.
+    index_t piv = k;
+    for (index_t j = k + 1; j < n; ++j) {
+      if (colnorm2[j] > colnorm2[piv]) piv = j;
+    }
+    if (piv != k) {
+      for (index_t i = 0; i < m; ++i) std::swap(qr(i, k), qr(i, piv));
+      std::swap(colnorm2[k], colnorm2[piv]);
+      std::swap(perm[k], perm[piv]);
+    }
+
+    // Householder vector for column k below row k.
+    double norm = 0.0;
+    for (index_t i = k; i < m; ++i) norm += qr(i, k) * qr(i, k);
+    norm = std::sqrt(norm);
+    if (norm <= tol * std::max(1.0, max_norm0)) break;  // rank exhausted
+    ++rank;
+
+    const double alpha = (qr(k, k) >= 0.0) ? -norm : norm;
+    const double vk = qr(k, k) - alpha;
+    qr(k, k) = alpha;
+    // v = (1, qr(k+1..m, k)/vk); beta = -vk/alpha.
+    for (index_t i = k + 1; i < m; ++i) qr(i, k) /= vk;
+    const double beta = -vk / alpha;
+
+    // Apply H = I - beta v v^T to the trailing columns and to the RHS.
+    auto apply = [&](auto&& get, auto&& set, index_t j) {
+      double dot = get(k, j);
+      for (index_t i = k + 1; i < m; ++i) dot += qr(i, k) * get(i, j);
+      const double w = beta * dot;
+      set(k, j, get(k, j) - w);
+      for (index_t i = k + 1; i < m; ++i) set(i, j, get(i, j) - w * qr(i, k));
+    };
+    for (index_t j = k + 1; j < n; ++j) {
+      apply([&](index_t i, index_t jj) { return qr(i, jj); },
+            [&](index_t i, index_t jj, double v) { qr(i, jj) = v; }, j);
+    }
+    for (index_t j = 0; j < nrhs; ++j) {
+      apply([&](index_t i, index_t jj) { return rhs(i, jj); },
+            [&](index_t i, index_t jj, double v) { rhs(i, jj) = v; }, j);
+    }
+
+    // Downdate remaining column norms.
+    for (index_t j = k + 1; j < n; ++j) {
+      colnorm2[j] -= qr(k, j) * qr(k, j);
+      if (colnorm2[j] < 0.0) colnorm2[j] = 0.0;
+    }
+  }
+
+  // Back substitution on the leading rank x rank triangle; truncated
+  // coefficients are zero (basic solution).
+  LstsqResult out;
+  out.rank = rank;
+  out.x = Matrix(n, nrhs);
+  for (index_t j = 0; j < nrhs; ++j) {
+    std::vector<double> y(rank, 0.0);
+    for (index_t i = rank - 1; i >= 0; --i) {
+      double s = rhs(i, j);
+      for (index_t l = i + 1; l < rank; ++l) s -= qr(i, l) * y[l];
+      y[i] = s / qr(i, i);
+    }
+    for (index_t i = 0; i < rank; ++i) out.x(perm[i], j) = y[i];
+  }
+  return out;
+}
+
+std::vector<double> singular_values(ConstMatrixView a, int max_sweeps) {
+  // Work on the taller orientation so columns outnumber... rather: one-sided
+  // Jacobi orthogonalizes columns; use the version with fewer columns.
+  const bool transpose = a.cols() > a.rows();
+  const index_t m = transpose ? a.cols() : a.rows();
+  const index_t n = transpose ? a.rows() : a.cols();
+  Matrix w(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      w(i, j) = transpose ? a(j, i) : a(i, j);
+    }
+  }
+
+  const double eps = 1e-14;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (index_t i = 0; i < m; ++i) {
+          app += w(i, p) * w(i, p);
+          aqq += w(i, q) * w(i, q);
+          apq += w(i, p) * w(i, q);
+        }
+        if (std::abs(apq) <= eps * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        converged = false;
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : -1.0 / (-tau + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (index_t i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  std::vector<double> sv(n);
+  for (index_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (index_t i = 0; i < m; ++i) s += w(i, j) * w(i, j);
+    sv[j] = std::sqrt(s);
+  }
+  std::sort(sv.begin(), sv.end(), std::greater<>());
+  return sv;
+}
+
+}  // namespace dlap

@@ -1,0 +1,36 @@
+#pragma once
+// Dense least-squares solver for polynomial fitting.
+//
+// The paper uses SciPy's SVD-based linalg.lstsq; we provide the same
+// functionality in-library: Householder QR with column pivoting (the
+// workhorse, shared across the five right-hand sides of a vector-valued
+// fit) plus a one-sided Jacobi SVD for singular-value diagnostics.
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace dlap {
+
+struct LstsqResult {
+  /// Solution matrix X (n x nrhs), column-major, minimizing ||A X - B||_F.
+  Matrix x;
+  /// Numerical rank detected by the pivoted QR.
+  index_t rank = 0;
+};
+
+/// Solves min ||A X - B||_F for X with A (m x n, m >= 1) and B (m x nrhs).
+/// Rank-deficient systems are handled by truncating to the detected rank
+/// (pivoted columns beyond it get zero coefficients), which is the
+/// standard "basic solution"; tol is relative to the largest column norm.
+[[nodiscard]] LstsqResult lstsq(ConstMatrixView a, ConstMatrixView b,
+                                double tol = 1e-12);
+
+/// Singular values of A (m x n, any shape) via one-sided Jacobi on A or
+/// A^T (whichever is taller), descending order. O(min^2 * max) per sweep;
+/// intended for the small design matrices of model fitting.
+[[nodiscard]] std::vector<double> singular_values(ConstMatrixView a,
+                                                  int max_sweeps = 30);
+
+}  // namespace dlap

@@ -1,0 +1,73 @@
+#include "modeler/model.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dlap {
+
+PiecewiseModel::PiecewiseModel(Region domain, std::vector<RegionModel> pieces)
+    : domain_(std::move(domain)), pieces_(std::move(pieces)) {
+  DLAP_REQUIRE(!pieces_.empty(), "piecewise model needs at least one region");
+  for (const RegionModel& p : pieces_) {
+    DLAP_REQUIRE(p.region.dims() == domain_.dims(),
+                 "piece dimensionality mismatch");
+  }
+}
+
+SampleStats PiecewiseModel::evaluate(const std::vector<double>& point) const {
+  DLAP_REQUIRE(!pieces_.empty(), "evaluating an empty model");
+  DLAP_REQUIRE(static_cast<int>(point.size()) == dims(),
+               "point dimensionality mismatch");
+
+  // Most accurate containing region wins.
+  const RegionModel* best = nullptr;
+  for (const RegionModel& p : pieces_) {
+    if (!p.region.contains(point)) continue;
+    if (best == nullptr || p.fit_error < best->fit_error) best = &p;
+  }
+  if (best != nullptr) return best->poly.evaluate(point);
+
+  // No containing region: project onto the nearest one (clamping policy).
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const RegionModel& p : pieces_) {
+    const double d = p.region.distance(point);
+    if (d < best_dist) {
+      best_dist = d;
+      best = &p;
+    }
+  }
+  std::vector<double> clamped = point;
+  for (int d = 0; d < dims(); ++d) {
+    clamped[d] = std::clamp(clamped[d],
+                            static_cast<double>(best->region.lo(d)),
+                            static_cast<double>(best->region.hi(d)));
+  }
+  return best->poly.evaluate(clamped);
+}
+
+SampleStats PiecewiseModel::evaluate(const std::vector<index_t>& point) const {
+  std::vector<double> p(point.size());
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    p[i] = static_cast<double>(point[i]);
+  }
+  return evaluate(p);
+}
+
+double PiecewiseModel::average_error() const {
+  double wsum = 0.0;
+  double esum = 0.0;
+  for (const RegionModel& p : pieces_) {
+    const double w = static_cast<double>(std::max<index_t>(p.samples_used, 1));
+    wsum += w;
+    esum += w * p.mean_error;
+  }
+  return (wsum > 0.0) ? esum / wsum : 0.0;
+}
+
+index_t PiecewiseModel::total_samples() const {
+  index_t s = 0;
+  for (const RegionModel& p : pieces_) s += p.samples_used;
+  return s;
+}
+
+}  // namespace dlap

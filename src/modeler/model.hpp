@@ -1,0 +1,59 @@
+#pragma once
+// Piecewise performance models (paper Section III-B).
+//
+// A PiecewiseModel covers a rectangular parameter domain with regions, each
+// carrying a vector-valued polynomial. Evaluation: find the region
+// containing the query point (when several overlap, the most accurate one
+// wins -- the paper's footnote 6), evaluate its polynomial, yielding
+// estimates for every statistical quantity.
+
+#include <vector>
+
+#include "modeler/polynomial.hpp"
+#include "modeler/region.hpp"
+#include "sampler/stats.hpp"
+
+namespace dlap {
+
+struct RegionModel {
+  Region region;
+  VecPolynomial poly;
+  double fit_error = 0.0;       ///< e_relmax of the median fit
+  double mean_error = 0.0;      ///< mean relative error of the median fit
+  index_t samples_used = 0;     ///< samples that contributed to the fit
+};
+
+class PiecewiseModel {
+ public:
+  PiecewiseModel() = default;
+  PiecewiseModel(Region domain, std::vector<RegionModel> pieces);
+
+  [[nodiscard]] const Region& domain() const { return domain_; }
+  [[nodiscard]] const std::vector<RegionModel>& pieces() const {
+    return pieces_;
+  }
+  [[nodiscard]] int dims() const { return domain_.dims(); }
+  [[nodiscard]] bool empty() const { return pieces_.empty(); }
+
+  /// Estimates all statistics at the given parameter point. Points inside
+  /// the domain select the most accurate containing region; points outside
+  /// any region (cracks between lattice-aligned regions, or outside the
+  /// domain) are projected onto the nearest region before evaluation, so
+  /// the model never extrapolates wildly.
+  [[nodiscard]] SampleStats evaluate(const std::vector<double>& point) const;
+  [[nodiscard]] SampleStats evaluate(const std::vector<index_t>& point) const;
+
+  /// Sample-count-weighted average of the per-region mean relative errors
+  /// (the "average error" axis of the paper's Fig III.8).
+  [[nodiscard]] double average_error() const;
+
+  /// Sum of per-region sample counts (counts shared samples once per
+  /// region; the generator's unique-sample count is reported separately).
+  [[nodiscard]] index_t total_samples() const;
+
+ private:
+  Region domain_;
+  std::vector<RegionModel> pieces_;
+};
+
+}  // namespace dlap

@@ -1,0 +1,106 @@
+#include "modeler/modeler.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace dlap {
+
+std::string ModelKey::to_string() const {
+  return routine + "/" + backend + "/" + locality_name(locality) + "/" +
+         (flags.empty() ? "noflags" : flags);
+}
+
+bool ModelKey::operator<(const ModelKey& o) const {
+  if (routine != o.routine) return routine < o.routine;
+  if (backend != o.backend) return backend < o.backend;
+  if (locality != o.locality) {
+    return static_cast<int>(locality) < static_cast<int>(o.locality);
+  }
+  return flags < o.flags;
+}
+
+KernelCall make_call(const ModelingRequest& request,
+                     const std::vector<index_t>& point) {
+  KernelCall call;
+  call.routine = request.routine;
+  call.flags = request.flags;
+  call.sizes = point;
+
+  const auto& sig = routine_signature(request.routine);
+  const auto nscalars = std::count(sig.begin(), sig.end(), ArgKind::Scalar);
+  if (!request.scalars.empty()) {
+    call.scalars = request.scalars;
+  } else {
+    call.scalars.assign(static_cast<std::size_t>(nscalars), 1.0);
+  }
+  const auto nleads = std::count(sig.begin(), sig.end(), ArgKind::Lead);
+  call.leads.assign(static_cast<std::size_t>(nleads), request.fixed_ld);
+
+  // Raise any leading dimension that is smaller than its operand (keeps
+  // the fixed-ld convention valid on domains larger than fixed_ld).
+  const auto shapes = operand_shapes(call);
+  DLAP_REQUIRE(shapes.size() == call.leads.size(),
+               "signature lead/data count mismatch");
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    call.leads[i] = std::max<index_t>(call.leads[i],
+                                      std::max<index_t>(1, shapes[i].rows));
+  }
+  validate_call(call);
+  return call;
+}
+
+MeasureFn Modeler::make_measure_fn(const ModelingRequest& request) {
+  // The sampler is shared across all measurements of one generation run.
+  auto sampler = std::make_shared<Sampler>(*backend_, request.sampler);
+  const ModelingRequest req = request;
+  return [sampler, req](const std::vector<index_t>& point) {
+    return sampler->measure(make_call(req, point));
+  };
+}
+
+ModelKey Modeler::key_for(const ModelingRequest& request) const {
+  ModelKey key;
+  key.routine = routine_name(request.routine);
+  key.backend = backend_->name();
+  key.locality = request.sampler.locality;
+  key.flags.assign(request.flags.begin(), request.flags.end());
+  return key;
+}
+
+GenerationResult Modeler::run_expansion(const ModelingRequest& request,
+                                        const ExpansionConfig& config) {
+  return generate_model_expansion(request.domain, make_measure_fn(request),
+                                  config);
+}
+
+GenerationResult Modeler::run_refinement(const ModelingRequest& request,
+                                         const RefinementConfig& config) {
+  return generate_adaptive_refinement(request.domain,
+                                      make_measure_fn(request), config);
+}
+
+RoutineModel Modeler::build_expansion(const ModelingRequest& request,
+                                      const ExpansionConfig& config) {
+  GenerationResult gen = run_expansion(request, config);
+  RoutineModel out;
+  out.key = key_for(request);
+  out.model = std::move(gen.model);
+  out.unique_samples = gen.unique_samples;
+  out.average_error = gen.average_error;
+  out.strategy = "expansion";
+  return out;
+}
+
+RoutineModel Modeler::build_refinement(const ModelingRequest& request,
+                                       const RefinementConfig& config) {
+  GenerationResult gen = run_refinement(request, config);
+  RoutineModel out;
+  out.key = key_for(request);
+  out.model = std::move(gen.model);
+  out.unique_samples = gen.unique_samples;
+  out.average_error = gen.average_error;
+  out.strategy = "refinement";
+  return out;
+}
+
+}  // namespace dlap

@@ -1,0 +1,84 @@
+#pragma once
+// The Modeler (paper Section III): generates piecewise-polynomial
+// performance models for routines automatically, by driving the Sampler
+// through one of the two generation strategies. Each model is specific to
+// a (routine, flag combination, implementation/backend, memory locality)
+// tuple -- the "fixed implementation, system, and memory locality
+// situation" of Section III-B.
+
+#include <string>
+#include <vector>
+
+#include "blas/backend.hpp"
+#include "modeler/model.hpp"
+#include "modeler/strategies.hpp"
+#include "sampler/calls.hpp"
+#include "sampler/sampler.hpp"
+
+namespace dlap {
+
+/// Identity of a model in the repository.
+struct ModelKey {
+  std::string routine;  ///< e.g. "dtrsm"
+  std::string backend;  ///< e.g. "blocked" or "packed@8"
+  Locality locality = Locality::InCache;
+  std::string flags;    ///< flag values joined, e.g. "LLNN" ("" if none)
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool operator==(const ModelKey&) const = default;
+  [[nodiscard]] bool operator<(const ModelKey& o) const;
+};
+
+/// A generated model plus provenance.
+struct RoutineModel {
+  ModelKey key;
+  PiecewiseModel model;
+  index_t unique_samples = 0;
+  double average_error = 0.0;
+  std::string strategy;  ///< "expansion" or "refinement"
+};
+
+/// What to model: the call family (routine + fixed flags/scalars/leading
+/// dimensions) and the integer-parameter domain spanned by the size
+/// arguments.
+struct ModelingRequest {
+  RoutineId routine = RoutineId::Trsm;
+  std::vector<char> flags;      ///< one value per flag argument
+  std::vector<double> scalars;  ///< empty = defaults (alpha=1, beta=1)
+  /// All leading dimensions are fixed to this (raised per-operand when an
+  /// operand is taller); the paper fixes 2500 throughout generation.
+  index_t fixed_ld = 2500;
+  Region domain;                ///< over the size arguments, in order
+  SamplerConfig sampler;        ///< locality, reps, seed
+};
+
+/// Builds the KernelCall for a parameter point of the request.
+[[nodiscard]] KernelCall make_call(const ModelingRequest& request,
+                                   const std::vector<index_t>& point);
+
+class Modeler {
+ public:
+  explicit Modeler(Level3Backend& backend) : backend_(&backend) {}
+
+  /// Measurement source for the request (caching is applied inside the
+  /// strategies, not here).
+  [[nodiscard]] MeasureFn make_measure_fn(const ModelingRequest& request);
+
+  [[nodiscard]] RoutineModel build_expansion(const ModelingRequest& request,
+                                             const ExpansionConfig& config);
+  [[nodiscard]] RoutineModel build_refinement(const ModelingRequest& request,
+                                              const RefinementConfig& config);
+
+  /// Full generation result (with events) for strategy-analysis benches.
+  [[nodiscard]] GenerationResult run_expansion(const ModelingRequest& request,
+                                               const ExpansionConfig& config);
+  [[nodiscard]] GenerationResult run_refinement(
+      const ModelingRequest& request, const RefinementConfig& config);
+
+ private:
+  [[nodiscard]] ModelKey key_for(const ModelingRequest& request) const;
+
+  Level3Backend* backend_;
+};
+
+}  // namespace dlap

@@ -1,0 +1,133 @@
+#include "modeler/polynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlap {
+
+namespace {
+void gen_exponents(int dims, int remaining_degree, std::vector<int>& cur,
+                   std::vector<std::vector<int>>& out) {
+  if (static_cast<int>(cur.size()) == dims) {
+    out.push_back(cur);
+    return;
+  }
+  for (int e = 0; e <= remaining_degree; ++e) {
+    cur.push_back(e);
+    gen_exponents(dims, remaining_degree - e, cur, out);
+    cur.pop_back();
+  }
+}
+}  // namespace
+
+std::vector<std::vector<int>> monomial_basis(int dims, int degree) {
+  DLAP_REQUIRE(dims >= 1 && degree >= 0, "bad basis spec");
+  std::vector<std::vector<int>> all;
+  std::vector<int> cur;
+  gen_exponents(dims, degree, cur, all);
+  // Graded-lex: sort by total degree, then lexicographically.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const std::vector<int>& a, const std::vector<int>& b) {
+                     int ta = 0, tb = 0;
+                     for (int e : a) ta += e;
+                     for (int e : b) tb += e;
+                     if (ta != tb) return ta < tb;
+                     return a < b;
+                   });
+  return all;
+}
+
+index_t monomial_count(int dims, int degree) {
+  // binom(dims + degree, degree)
+  index_t num = 1, den = 1;
+  for (int i = 1; i <= degree; ++i) {
+    num *= dims + i;
+    den *= i;
+  }
+  return num / den;
+}
+
+std::vector<double> Normalization::apply(const std::vector<double>& x) const {
+  DLAP_REQUIRE(x.size() == shift.size() && x.size() == scale.size(),
+               "normalization dimension mismatch");
+  std::vector<double> z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double s = (scale[i] != 0.0) ? scale[i] : 1.0;
+    z[i] = (x[i] - shift[i]) / s;
+  }
+  return z;
+}
+
+void evaluate_basis(const std::vector<std::vector<int>>& basis,
+                    const std::vector<double>& z, std::vector<double>& out) {
+  out.resize(basis.size());
+  for (std::size_t m = 0; m < basis.size(); ++m) {
+    double v = 1.0;
+    for (std::size_t d = 0; d < basis[m].size(); ++d) {
+      for (int e = 0; e < basis[m][d]; ++e) v *= z[d];
+    }
+    out[m] = v;
+  }
+}
+
+Polynomial::Polynomial(int dims, int degree, Normalization norm,
+                       std::vector<double> coeffs)
+    : dims_(dims), degree_(degree), norm_(std::move(norm)),
+      coeffs_(std::move(coeffs)) {
+  DLAP_REQUIRE(static_cast<index_t>(coeffs_.size()) ==
+                   monomial_count(dims, degree),
+               "coefficient count does not match basis");
+}
+
+double Polynomial::evaluate(const std::vector<double>& x) const {
+  const std::vector<double> z = norm_.apply(x);
+  const auto basis = monomial_basis(dims_, degree_);
+  std::vector<double> phi;
+  evaluate_basis(basis, z, phi);
+  double v = 0.0;
+  for (std::size_t m = 0; m < phi.size(); ++m) v += coeffs_[m] * phi[m];
+  return v;
+}
+
+VecPolynomial::VecPolynomial(int dims, int degree, Normalization norm,
+                             std::vector<std::vector<double>> coeffs_per_stat)
+    : dims_(dims), degree_(degree), norm_(std::move(norm)),
+      coeffs_(std::move(coeffs_per_stat)) {
+  DLAP_REQUIRE(coeffs_.size() == static_cast<std::size_t>(kStatCount),
+               "need one coefficient vector per statistic");
+  for (const auto& c : coeffs_) {
+    DLAP_REQUIRE(static_cast<index_t>(c.size()) ==
+                     monomial_count(dims, degree),
+                 "coefficient count does not match basis");
+  }
+}
+
+SampleStats VecPolynomial::evaluate(const std::vector<double>& x) const {
+  const std::vector<double> z = norm_.apply(x);
+  const auto basis = monomial_basis(dims_, degree_);
+  std::vector<double> phi;
+  evaluate_basis(basis, z, phi);
+  SampleStats out;
+  for (int s = 0; s < kStatCount; ++s) {
+    double v = 0.0;
+    const auto& c = coeffs_[static_cast<std::size_t>(s)];
+    for (std::size_t m = 0; m < phi.size(); ++m) v += c[m] * phi[m];
+    out.set(static_cast<Stat>(s), std::max(0.0, v));
+  }
+  out.count = 0;  // model estimate, not a measurement
+  return out;
+}
+
+double VecPolynomial::evaluate_stat(Stat s,
+                                    const std::vector<double>& x) const {
+  const std::vector<double> z = norm_.apply(x);
+  const auto basis = monomial_basis(dims_, degree_);
+  std::vector<double> phi;
+  evaluate_basis(basis, z, phi);
+  double v = 0.0;
+  const auto& c = coeffs_[static_cast<std::size_t>(s)];
+  for (std::size_t m = 0; m < phi.size(); ++m) v += c[m] * phi[m];
+  return v;
+}
+
+}  // namespace dlap

@@ -1,0 +1,96 @@
+#pragma once
+// Multivariate polynomials over the integer parameter spaces of routine
+// arguments (paper Section III-B): each model region carries one
+// vector-valued polynomial -- one scalar polynomial per statistical
+// quantity, all sharing the same monomial basis and normalization.
+
+#include <vector>
+
+#include "sampler/stats.hpp"
+#include "common/types.hpp"
+
+namespace dlap {
+
+/// Exponent tuples of all monomials in `dims` variables with total degree
+/// <= degree, in graded-lexicographic order (constant term first). The
+/// basis order is part of the serialization contract.
+[[nodiscard]] std::vector<std::vector<int>> monomial_basis(int dims,
+                                                           int degree);
+
+/// Number of monomials in that basis: binom(dims + degree, degree).
+[[nodiscard]] index_t monomial_count(int dims, int degree);
+
+/// Affine input normalization z_i = (x_i - shift_i) / scale_i applied
+/// before monomial evaluation; keeps design matrices well conditioned for
+/// parameter values up to thousands.
+struct Normalization {
+  std::vector<double> shift;
+  std::vector<double> scale;
+
+  [[nodiscard]] std::vector<double> apply(
+      const std::vector<double>& x) const;
+};
+
+/// Scalar polynomial: basis metadata plus one coefficient per monomial.
+class Polynomial {
+ public:
+  Polynomial() = default;
+  Polynomial(int dims, int degree, Normalization norm,
+             std::vector<double> coeffs);
+
+  [[nodiscard]] int dims() const noexcept { return dims_; }
+  [[nodiscard]] int degree() const noexcept { return degree_; }
+  [[nodiscard]] const Normalization& normalization() const noexcept {
+    return norm_;
+  }
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return coeffs_;
+  }
+
+  [[nodiscard]] double evaluate(const std::vector<double>& x) const;
+
+ private:
+  int dims_ = 0;
+  int degree_ = 0;
+  Normalization norm_;
+  std::vector<double> coeffs_;
+};
+
+/// Vector-valued polynomial: one scalar polynomial per Stat, sharing basis
+/// and normalization (stored as a coefficient matrix).
+class VecPolynomial {
+ public:
+  VecPolynomial() = default;
+  VecPolynomial(int dims, int degree, Normalization norm,
+                std::vector<std::vector<double>> coeffs_per_stat);
+
+  [[nodiscard]] int dims() const noexcept { return dims_; }
+  [[nodiscard]] int degree() const noexcept { return degree_; }
+  [[nodiscard]] const Normalization& normalization() const noexcept {
+    return norm_;
+  }
+  [[nodiscard]] const std::vector<double>& coefficients(Stat s) const {
+    return coeffs_[static_cast<std::size_t>(s)];
+  }
+
+  /// Evaluates every statistic at x. Statistics that must be nonnegative
+  /// (all of ours: tick summaries) are clamped at 0.
+  [[nodiscard]] SampleStats evaluate(const std::vector<double>& x) const;
+
+  /// Evaluates a single statistic (no clamping).
+  [[nodiscard]] double evaluate_stat(Stat s,
+                                     const std::vector<double>& x) const;
+
+ private:
+  int dims_ = 0;
+  int degree_ = 0;
+  Normalization norm_;
+  std::vector<std::vector<double>> coeffs_;  // [stat][monomial]
+};
+
+/// Evaluates the monomial basis at normalized point z (helper shared by
+/// evaluation and design-matrix assembly).
+void evaluate_basis(const std::vector<std::vector<int>>& basis,
+                    const std::vector<double>& z, std::vector<double>& out);
+
+}  // namespace dlap

@@ -1,0 +1,75 @@
+#include <cmath>
+#include <deque>
+
+#include "modeler/fit.hpp"
+#include "modeler/polynomial.hpp"
+#include "modeler/sample_cache.hpp"
+#include "modeler/strategies.hpp"
+
+namespace dlap {
+
+index_t effective_grid_points(const GeneratorConfig& config, int dims) {
+  const double monomials =
+      static_cast<double>(monomial_count(dims, config.degree));
+  // points_per_dim^dims >= 1.5 * monomials keeps the fit overdetermined.
+  index_t needed = static_cast<index_t>(
+      std::ceil(std::pow(1.5 * monomials, 1.0 / dims)));
+  return std::max(config.grid_points_per_dim, needed);
+}
+
+GenerationResult generate_adaptive_refinement(const Region& domain,
+                                              const MeasureFn& measure,
+                                              const RefinementConfig& config) {
+  const GeneratorConfig& base = config.base;
+  DLAP_REQUIRE(base.error_bound > 0.0, "refinement: error bound must be > 0");
+  DLAP_REQUIRE(config.min_region_size >= base.granularity,
+               "refinement: s_min below granularity");
+
+  SampleCache cache(measure);
+  GenerationResult result;
+  std::vector<RegionModel> pieces;
+
+  // Breadth-first refinement reproduces the paper's level-by-level
+  // pictures (Fig III.5): the whole domain first, then quadrants, ...
+  std::deque<Region> work;
+  work.push_back(domain);
+
+  while (!work.empty()) {
+    const Region region = work.front();
+    work.pop_front();
+
+    const auto samples = cache.gather(region.sample_grid(
+        effective_grid_points(base, region.dims()), base.granularity));
+    const FitResult fit = fit_polynomial(region, samples, base.degree);
+    result.events.push_back({GenerationEvent::Kind::NewRegion, region,
+                             fit.erelmax, cache.unique_samples()});
+
+    const bool accurate = fit.erelmax <= base.error_bound;
+    std::vector<Region> children;
+    if (!accurate) {
+      children = region.split(config.min_region_size, base.granularity);
+    }
+    const bool splittable = children.size() > 1;
+
+    if (accurate || !splittable) {
+      // Accurate, or too small to refine further: accept as-is (the paper
+      // accepts inaccurate minimum-size regions the same way).
+      pieces.push_back({region, fit.poly, fit.erelmax, fit.mean_rel_error,
+                        static_cast<index_t>(samples.size())});
+      result.events.push_back({GenerationEvent::Kind::Finalized, region,
+                               fit.erelmax, cache.unique_samples()});
+      continue;
+    }
+
+    result.events.push_back({GenerationEvent::Kind::Split, region,
+                             fit.erelmax, cache.unique_samples()});
+    for (Region& child : children) work.push_back(std::move(child));
+  }
+
+  result.model = PiecewiseModel(domain, std::move(pieces));
+  result.unique_samples = cache.unique_samples();
+  result.average_error = result.model.average_error();
+  return result;
+}
+
+}  // namespace dlap

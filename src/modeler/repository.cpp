@@ -1,0 +1,228 @@
+#include "modeler/repository.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/str.hpp"
+
+namespace dlap {
+
+namespace {
+
+constexpr const char* kMagic = "dlaperf-model v1";
+
+void write_doubles(std::ostream& os, const std::vector<double>& v) {
+  os << std::setprecision(17);
+  for (double x : v) os << ' ' << x;
+}
+
+std::vector<double> read_doubles(std::istringstream& is, std::size_t n) {
+  std::vector<double> out(n);
+  for (double& x : out) {
+    if (!(is >> x)) throw parse_error("model file: truncated double list");
+  }
+  return out;
+}
+
+std::vector<index_t> read_indices(std::istringstream& is, std::size_t n) {
+  std::vector<index_t> out(n);
+  for (index_t& x : out) {
+    if (!(is >> x)) throw parse_error("model file: truncated index list");
+  }
+  return out;
+}
+
+}  // namespace
+
+ModelRepository::ModelRepository(std::filesystem::path dir)
+    : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string ModelRepository::filename(const ModelKey& key) {
+  std::string backend = key.backend;
+  // '@' is shell-unfriendly in some contexts; encode threads as "_t".
+  for (char& c : backend) {
+    if (c == '@') c = 't';
+  }
+  return key.routine + "__" + backend + "__" +
+         std::string(locality_name(key.locality)) + "__" +
+         (key.flags.empty() ? "noflags" : key.flags) + ".model";
+}
+
+std::string ModelRepository::serialize(const RoutineModel& m) {
+  std::ostringstream os;
+  os << kMagic << '\n';
+  os << "routine " << m.key.routine << '\n';
+  os << "backend " << m.key.backend << '\n';
+  os << "locality " << locality_name(m.key.locality) << '\n';
+  os << "flags " << (m.key.flags.empty() ? "-" : m.key.flags) << '\n';
+  os << "strategy " << (m.strategy.empty() ? "-" : m.strategy) << '\n';
+  os << "unique_samples " << m.unique_samples << '\n';
+  os << std::setprecision(17);
+  os << "average_error " << m.average_error << '\n';
+
+  const PiecewiseModel& pm = m.model;
+  os << "dims " << pm.dims() << '\n';
+  os << "domain";
+  for (int d = 0; d < pm.dims(); ++d) {
+    os << ' ' << pm.domain().lo(d) << ' ' << pm.domain().hi(d);
+  }
+  os << '\n';
+  os << "pieces " << pm.pieces().size() << '\n';
+  for (const RegionModel& p : pm.pieces()) {
+    os << "piece\n";
+    os << "  bounds";
+    for (int d = 0; d < pm.dims(); ++d) {
+      os << ' ' << p.region.lo(d) << ' ' << p.region.hi(d);
+    }
+    os << '\n';
+    os << "  fit_error " << p.fit_error << '\n';
+    os << "  mean_error " << p.mean_error << '\n';
+    os << "  samples " << p.samples_used << '\n';
+    os << "  degree " << p.poly.degree() << '\n';
+    os << "  shift";
+    write_doubles(os, p.poly.normalization().shift);
+    os << '\n';
+    os << "  scale";
+    write_doubles(os, p.poly.normalization().scale);
+    os << '\n';
+    for (int s = 0; s < kStatCount; ++s) {
+      os << "  coef " << stat_name(static_cast<Stat>(s));
+      write_doubles(os, p.poly.coefficients(static_cast<Stat>(s)));
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+RoutineModel ModelRepository::deserialize(const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+
+  auto next_line = [&]() -> std::string {
+    while (std::getline(lines, line)) {
+      const std::string_view t = trim(line);
+      if (!t.empty()) return std::string(t);
+    }
+    throw parse_error("model file: unexpected end of file");
+  };
+  auto expect_kv = [&](const std::string& key) -> std::string {
+    const std::string l = next_line();
+    if (!starts_with(l, key + " ") && l != key) {
+      throw parse_error("model file: expected '" + key + "', got '" + l +
+                        "'");
+    }
+    return l.size() > key.size() ? std::string(trim(l.substr(key.size())))
+                                 : std::string();
+  };
+
+  if (next_line() != kMagic) {
+    throw parse_error("model file: bad magic (not a dlaperf model)");
+  }
+
+  RoutineModel m;
+  m.key.routine = expect_kv("routine");
+  m.key.backend = expect_kv("backend");
+  m.key.locality = locality_from_name(expect_kv("locality"));
+  const std::string flags = expect_kv("flags");
+  m.key.flags = (flags == "-") ? "" : flags;
+  const std::string strategy = expect_kv("strategy");
+  m.strategy = (strategy == "-") ? "" : strategy;
+  m.unique_samples = static_cast<index_t>(parse_int(expect_kv("unique_samples")));
+  m.average_error = parse_double(expect_kv("average_error"));
+
+  const int dims = static_cast<int>(parse_int(expect_kv("dims")));
+  DLAP_REQUIRE(dims >= 1 && dims <= 8, "model file: implausible dims");
+
+  std::istringstream dom(expect_kv("domain"));
+  const std::vector<index_t> dbounds = read_indices(dom, 2 * dims);
+  std::vector<index_t> dlo(dims), dhi(dims);
+  for (int d = 0; d < dims; ++d) {
+    dlo[d] = dbounds[2 * d];
+    dhi[d] = dbounds[2 * d + 1];
+  }
+
+  const auto npieces = parse_int(expect_kv("pieces"));
+  DLAP_REQUIRE(npieces >= 1, "model file: no pieces");
+  std::vector<RegionModel> pieces;
+  pieces.reserve(static_cast<std::size_t>(npieces));
+
+  for (long long pi = 0; pi < npieces; ++pi) {
+    if (next_line() != "piece") throw parse_error("model file: missing piece");
+    std::istringstream bnd(expect_kv("bounds"));
+    const std::vector<index_t> bounds = read_indices(bnd, 2 * dims);
+    std::vector<index_t> lo(dims), hi(dims);
+    for (int d = 0; d < dims; ++d) {
+      lo[d] = bounds[2 * d];
+      hi[d] = bounds[2 * d + 1];
+    }
+    RegionModel piece;
+    piece.region = Region(lo, hi);
+    piece.fit_error = parse_double(expect_kv("fit_error"));
+    piece.mean_error = parse_double(expect_kv("mean_error"));
+    piece.samples_used = static_cast<index_t>(parse_int(expect_kv("samples")));
+    const int degree = static_cast<int>(parse_int(expect_kv("degree")));
+
+    Normalization norm;
+    std::istringstream sh(expect_kv("shift"));
+    norm.shift = read_doubles(sh, static_cast<std::size_t>(dims));
+    std::istringstream sc(expect_kv("scale"));
+    norm.scale = read_doubles(sc, static_cast<std::size_t>(dims));
+
+    const std::size_t ncoef =
+        static_cast<std::size_t>(monomial_count(dims, degree));
+    std::vector<std::vector<double>> coeffs(kStatCount);
+    for (int s = 0; s < kStatCount; ++s) {
+      std::istringstream cs(expect_kv("coef"));
+      std::string name;
+      cs >> name;
+      const Stat stat = stat_from_name(name);
+      coeffs[static_cast<std::size_t>(stat)] = read_doubles(cs, ncoef);
+    }
+    piece.poly = VecPolynomial(dims, degree, std::move(norm),
+                               std::move(coeffs));
+    pieces.push_back(std::move(piece));
+  }
+
+  m.model = PiecewiseModel(Region(dlo, dhi), std::move(pieces));
+  return m;
+}
+
+void ModelRepository::store(const RoutineModel& model) const {
+  const std::filesystem::path path = dir_ / filename(model.key);
+  std::ofstream out(path);
+  DLAP_REQUIRE(out.good(), "cannot write model file: " + path.string());
+  out << serialize(model);
+}
+
+RoutineModel ModelRepository::load(const ModelKey& key) const {
+  const std::filesystem::path path = dir_ / filename(key);
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw lookup_error("no model stored for " + key.to_string() + " (" +
+                       path.string() + ")");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return deserialize(buf.str());
+}
+
+bool ModelRepository::contains(const ModelKey& key) const {
+  return std::filesystem::exists(dir_ / filename(key));
+}
+
+std::vector<ModelKey> ModelRepository::list() const {
+  std::vector<ModelKey> keys;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() != ".model") continue;
+    std::ifstream in(entry.path());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    keys.push_back(deserialize(buf.str()).key);
+  }
+  return keys;
+}
+
+}  // namespace dlap

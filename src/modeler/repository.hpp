@@ -1,0 +1,46 @@
+#pragma once
+// Model repository (paper Sections I and V): models are generated once and
+// "stored permanently in a repository" for later prediction runs. The
+// repository is a directory of self-describing text files, one per
+// (routine, backend, locality, flags) key.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "modeler/modeler.hpp"
+
+namespace dlap {
+
+class ModelRepository {
+ public:
+  /// Opens (and creates, if needed) the repository directory.
+  explicit ModelRepository(std::filesystem::path dir);
+
+  [[nodiscard]] const std::filesystem::path& directory() const {
+    return dir_;
+  }
+
+  /// Writes the model to its key's file (overwriting an existing entry).
+  void store(const RoutineModel& model) const;
+
+  /// Loads a model; throws dlap::lookup_error if absent.
+  [[nodiscard]] RoutineModel load(const ModelKey& key) const;
+
+  [[nodiscard]] bool contains(const ModelKey& key) const;
+
+  /// All keys currently stored.
+  [[nodiscard]] std::vector<ModelKey> list() const;
+
+  /// File name a key maps to (stable; part of the on-disk format).
+  [[nodiscard]] static std::string filename(const ModelKey& key);
+
+  /// Text (de)serialization, exposed for tests and tooling.
+  [[nodiscard]] static std::string serialize(const RoutineModel& model);
+  [[nodiscard]] static RoutineModel deserialize(const std::string& text);
+
+ private:
+  std::filesystem::path dir_;
+};
+
+}  // namespace dlap

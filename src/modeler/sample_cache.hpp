@@ -1,0 +1,46 @@
+#pragma once
+// Point-keyed measurement cache shared by the generation strategies.
+//
+// Strategies repeatedly re-fit overlapping grids; caching by parameter
+// point makes "samples" mean distinct measured points (the quantity the
+// paper reports on the x-axis of Fig III.8) and avoids paying twice for
+// shared region boundaries.
+
+#include <map>
+#include <vector>
+
+#include "modeler/strategies.hpp"
+
+namespace dlap {
+
+class SampleCache {
+ public:
+  explicit SampleCache(const MeasureFn& fn) : fn_(&fn) {}
+
+  [[nodiscard]] const SampleStats& get(const std::vector<index_t>& point) {
+    auto it = cache_.find(point);
+    if (it == cache_.end()) {
+      it = cache_.emplace(point, (*fn_)(point)).first;
+    }
+    return it->second;
+  }
+
+  /// Gathers samples for all grid points (measuring the missing ones).
+  [[nodiscard]] std::vector<SamplePoint> gather(
+      const std::vector<std::vector<index_t>>& grid) {
+    std::vector<SamplePoint> out;
+    out.reserve(grid.size());
+    for (const auto& p : grid) out.push_back({p, get(p)});
+    return out;
+  }
+
+  [[nodiscard]] index_t unique_samples() const {
+    return static_cast<index_t>(cache_.size());
+  }
+
+ private:
+  const MeasureFn* fn_;
+  std::map<std::vector<index_t>, SampleStats> cache_;
+};
+
+}  // namespace dlap

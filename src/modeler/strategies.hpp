@@ -1,0 +1,98 @@
+#pragma once
+// The two model-generation strategies (paper Sections III-C1 and III-C2).
+//
+// Both strategies consume measurements through a MeasureFn (decoupling
+// them from the Sampler so they can be unit-tested against synthetic cost
+// functions) and produce a PiecewiseModel plus generation diagnostics.
+// Measurements are cached by parameter point, so "number of samples" means
+// distinct sampled points, as in the paper's sample accounting.
+
+#include <functional>
+#include <vector>
+
+#include "modeler/model.hpp"
+#include "modeler/region.hpp"
+#include "sampler/stats.hpp"
+
+namespace dlap {
+
+/// Measurement source: parameter point -> statistics.
+using MeasureFn = std::function<SampleStats(const std::vector<index_t>&)>;
+
+/// Options shared by both strategies.
+struct GeneratorConfig {
+  /// Relative error bound epsilon on the median fit.
+  double error_bound = 0.10;
+  /// Sample coordinates are snapped to multiples of this (the paper
+  /// samples multiples of 8 to dodge small-scale fluctuation).
+  index_t granularity = 8;
+  /// Total degree of the region polynomials.
+  int degree = 3;
+  /// Sample-grid resolution per dimension when fitting a region.
+  index_t grid_points_per_dim = 4;
+};
+
+/// Grid resolution actually used for a `dims`-dimensional region: at least
+/// the configured resolution, raised so the grid strictly overdetermines
+/// the polynomial (otherwise a 1-D cubic would *interpolate* a 4-point
+/// grid and every fit would look perfect).
+[[nodiscard]] index_t effective_grid_points(const GeneratorConfig& config,
+                                            int dims);
+
+/// Model Expansion (paper III-C1): grow regions from a corner while the
+/// fit error stays below the bound; cover the rest with adjacent regions.
+struct ExpansionConfig {
+  GeneratorConfig base;
+  /// Expansion direction: AwayFromOrigin grows from the low corner toward
+  /// high coordinates (the paper's NE arrow); TowardOrigin grows from the
+  /// high corner toward the origin (SW arrow; the paper found this
+  /// preferable).
+  enum class Direction { AwayFromOrigin, TowardOrigin };
+  Direction direction = Direction::TowardOrigin;
+  /// Initial edge length of new regions (s_ini).
+  index_t initial_size = 64;
+};
+
+/// Adaptive Refinement (paper III-C2): start from one region spanning the
+/// domain; recursively split regions whose fit error exceeds the bound,
+/// until accurate or at the minimum region size (s_min).
+struct RefinementConfig {
+  GeneratorConfig base;
+  /// Minimum region edge length (s_min); regions too small to split are
+  /// accepted even when inaccurate, as in the paper.
+  index_t min_region_size = 32;
+};
+
+/// One step of the construction, for the Fig III.4 / III.5 walk-throughs.
+struct GenerationEvent {
+  enum class Kind {
+    NewRegion,   ///< a region was seeded
+    Expanded,    ///< expansion accepted a grown extent
+    Rejected,    ///< expansion attempt exceeded the error bound
+    Finalized,   ///< region fixed and added to the model
+    Split,       ///< refinement subdivided a region
+  };
+  Kind kind = Kind::NewRegion;
+  Region region;
+  double error = 0.0;
+  index_t samples_so_far = 0;
+};
+
+struct GenerationResult {
+  PiecewiseModel model;
+  /// Distinct parameter points measured.
+  index_t unique_samples = 0;
+  /// Sample-weighted average of per-region mean relative errors.
+  double average_error = 0.0;
+  std::vector<GenerationEvent> events;
+};
+
+[[nodiscard]] GenerationResult generate_model_expansion(
+    const Region& domain, const MeasureFn& measure,
+    const ExpansionConfig& config);
+
+[[nodiscard]] GenerationResult generate_adaptive_refinement(
+    const Region& domain, const MeasureFn& measure,
+    const RefinementConfig& config);
+
+}  // namespace dlap

@@ -1,0 +1,75 @@
+#include "predict/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sampler/machine.hpp"
+
+namespace dlap {
+
+void ModelSet::add(RoutineModel model) {
+  const auto key = std::make_pair(model.key.routine, model.key.flags);
+  models_.insert_or_assign(key, std::move(model));
+}
+
+const RoutineModel* ModelSet::find(const std::string& routine,
+                                   const std::string& flags) const {
+  const auto it = models_.find(std::make_pair(routine, flags));
+  return it == models_.end() ? nullptr : &it->second;
+}
+
+double Prediction::efficiency_median(double total_flops) const {
+  if (ticks.median <= 0.0) return 0.0;
+  return efficiency(total_flops, ticks.median);
+}
+
+Predictor::Predictor(const ModelSet& models, PredictionOptions options)
+    : models_(&models), options_(options) {}
+
+SampleStats Predictor::predict_call(const KernelCall& call) const {
+  const RoutineModel* m =
+      models_->find(routine_name(call.routine), call.flag_key());
+  if (m == nullptr) {
+    throw lookup_error(std::string("no model for ") +
+                       routine_name(call.routine) + " flags '" +
+                       call.flag_key() + "'");
+  }
+  return m->model.evaluate(call.sizes);
+}
+
+Prediction Predictor::predict(const CallTrace& trace) const {
+  Prediction out;
+  double var_sum = 0.0;
+  for (const KernelCall& call : trace) {
+    if (options_.skip_empty_calls &&
+        std::any_of(call.sizes.begin(), call.sizes.end(),
+                    [](index_t s) { return s == 0; })) {
+      ++out.skipped;
+      continue;
+    }
+    const RoutineModel* m =
+        models_->find(routine_name(call.routine), call.flag_key());
+    if (m == nullptr) {
+      if (options_.strict) {
+        throw lookup_error(std::string("no model for ") +
+                           routine_name(call.routine) + " flags '" +
+                           call.flag_key() + "'");
+      }
+      ++out.missing;
+      continue;
+    }
+    const SampleStats est = m->model.evaluate(call.sizes);
+    out.ticks.min += est.min;
+    out.ticks.median += est.median;
+    out.ticks.mean += est.mean;
+    out.ticks.max += est.max;
+    var_sum += est.stddev * est.stddev;
+    out.flops += call_flops(call);
+    ++out.calls;
+  }
+  out.ticks.stddev = std::sqrt(var_sum);
+  out.ticks.count = out.calls;
+  return out;
+}
+
+}  // namespace dlap

@@ -1,0 +1,73 @@
+#pragma once
+// Prediction by model evaluation and accumulation (paper Section IV):
+// "Each invocation corresponds to the evaluation of the corresponding
+// performance model; the results are then accumulated, thus generating a
+// performance prediction."
+
+#include <map>
+#include <string>
+
+#include "modeler/modeler.hpp"
+#include "predict/trace.hpp"
+#include "sampler/stats.hpp"
+
+namespace dlap {
+
+/// In-memory set of models used by a prediction run; normally all entries
+/// share one backend and locality (one "system" in the paper's sense).
+class ModelSet {
+ public:
+  void add(RoutineModel model);
+
+  /// nullptr when no model covers (routine, flags).
+  [[nodiscard]] const RoutineModel* find(const std::string& routine,
+                                         const std::string& flags) const;
+
+  [[nodiscard]] std::size_t size() const { return models_.size(); }
+
+ private:
+  // Keyed by routine + flag values; backend/locality are properties of the
+  // set as a whole.
+  std::map<std::pair<std::string, std::string>, RoutineModel> models_;
+};
+
+struct PredictionOptions {
+  /// Calls with any zero-size argument perform no flops; skip them rather
+  /// than evaluating models outside their domain (degenerate calls appear
+  /// naturally in traces, e.g. the first trinv iteration's dtrmm with
+  /// n = 0).
+  bool skip_empty_calls = true;
+  /// When a model for a traced call is missing: throw (default) or count
+  /// the call in Prediction::missing and move on.
+  bool strict = true;
+};
+
+struct Prediction {
+  /// Accumulated tick statistics: sums of min/median/mean/max, stddev
+  /// combined as sqrt of summed variances (independence assumption).
+  SampleStats ticks;
+  double flops = 0.0;
+  index_t calls = 0;    ///< calls that contributed estimates
+  index_t skipped = 0;  ///< degenerate (zero-work) calls
+  index_t missing = 0;  ///< calls without a model (non-strict mode)
+
+  /// Efficiency estimates for a given total flop count (callers often use
+  /// the operation's nominal flop formula rather than the trace sum).
+  [[nodiscard]] double efficiency_median(double total_flops) const;
+};
+
+class Predictor {
+ public:
+  explicit Predictor(const ModelSet& models, PredictionOptions options = {});
+
+  [[nodiscard]] Prediction predict(const CallTrace& trace) const;
+
+  /// Convenience: prediction for a single call.
+  [[nodiscard]] SampleStats predict_call(const KernelCall& call) const;
+
+ private:
+  const ModelSet* models_;
+  PredictionOptions options_;
+};
+
+}  // namespace dlap

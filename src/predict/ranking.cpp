@@ -1,0 +1,101 @@
+#include "predict/ranking.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dlap {
+
+std::vector<index_t> rank_order(const std::vector<double>& values) {
+  std::vector<index_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), index_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](index_t a, index_t b) {
+    return values[static_cast<std::size_t>(a)] <
+           values[static_cast<std::size_t>(b)];
+  });
+  return idx;
+}
+
+double kendall_tau(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  DLAP_REQUIRE(a.size() == b.size(), "kendall_tau: size mismatch");
+  DLAP_REQUIRE(a.size() >= 2, "kendall_tau: need at least two entries");
+  const index_t n = static_cast<index_t>(a.size());
+  index_t concordant = 0;
+  index_t discordant = 0;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double prod = da * db;
+      if (prod > 0.0) ++concordant;
+      else if (prod < 0.0) ++discordant;
+      // ties contribute to neither (tau-a convention)
+    }
+  }
+  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+bool same_winner(const std::vector<double>& a, const std::vector<double>& b) {
+  DLAP_REQUIRE(a.size() == b.size() && !a.empty(), "same_winner: bad input");
+  const auto ia = std::min_element(a.begin(), a.end()) - a.begin();
+  const auto ib = std::min_element(b.begin(), b.end()) - b.begin();
+  return ia == ib;
+}
+
+double topk_overlap(const std::vector<double>& estimate,
+                    const std::vector<double>& truth, index_t k) {
+  DLAP_REQUIRE(estimate.size() == truth.size(), "topk: size mismatch");
+  DLAP_REQUIRE(k >= 1 && k <= static_cast<index_t>(truth.size()),
+               "topk: bad k");
+  const auto re = rank_order(estimate);
+  const auto rt = rank_order(truth);
+  index_t hits = 0;
+  for (index_t i = 0; i < k; ++i) {
+    for (index_t j = 0; j < k; ++j) {
+      if (re[i] == rt[j]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+std::vector<index_t> crossovers(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  DLAP_REQUIRE(a.size() == b.size(), "crossovers: size mismatch");
+  std::vector<index_t> out;
+  auto sign = [](double v) { return (v > 0.0) - (v < 0.0); };
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    const int s0 = sign(a[i] - b[i]);
+    const int s1 = sign(a[i + 1] - b[i + 1]);
+    if (s0 != 0 && s1 != 0 && s0 != s1) out.push_back(static_cast<index_t>(i));
+  }
+  return out;
+}
+
+std::vector<index_t> fast_group(const std::vector<double>& ticks) {
+  DLAP_REQUIRE(ticks.size() >= 2, "fast_group: need at least two entries");
+  const auto order = rank_order(ticks);
+  // Largest relative jump between consecutive sorted values marks the
+  // boundary between the fast and the slow group.
+  std::size_t cut = 0;
+  double best_ratio = 0.0;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const double lo = ticks[static_cast<std::size_t>(order[i])];
+    const double hi = ticks[static_cast<std::size_t>(order[i + 1])];
+    if (lo <= 0.0) continue;
+    const double ratio = hi / lo;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      cut = i;
+    }
+  }
+  std::vector<index_t> fast(order.begin(),
+                            order.begin() + static_cast<std::ptrdiff_t>(cut + 1));
+  std::sort(fast.begin(), fast.end());
+  return fast;
+}
+
+}  // namespace dlap

@@ -1,0 +1,45 @@
+#pragma once
+// Ranking analysis: the paper's success criterion is not absolute
+// accuracy but *correctly ordering* algorithmic variants (Section IV).
+// These helpers quantify how well a predicted ordering matches a measured
+// one: full ranking, rank correlation, best-variant agreement, group
+// separation, and crossover detection.
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dlap {
+
+/// Indices of `values` sorted ascending (rank 0 = smallest = fastest when
+/// values are ticks). Ties keep original order.
+[[nodiscard]] std::vector<index_t> rank_order(
+    const std::vector<double>& values);
+
+/// Kendall rank correlation coefficient tau-a between two score vectors
+/// (+1: identical order, -1: reversed). Requires >= 2 entries.
+[[nodiscard]] double kendall_tau(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+/// True when both vectors attain their minimum at the same index.
+[[nodiscard]] bool same_winner(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+/// Fraction of the k best entries of `truth` that are also among the k
+/// best of `estimate` (top-k overlap / k).
+[[nodiscard]] double topk_overlap(const std::vector<double>& estimate,
+                                  const std::vector<double>& truth,
+                                  index_t k);
+
+/// Indices i where the sign of a[i]-b[i] differs from a[i+1]-b[i+1]
+/// (series crossovers, e.g. the paper's variant 3/4 crossover at n~650).
+[[nodiscard]] std::vector<index_t> crossovers(const std::vector<double>& a,
+                                              const std::vector<double>& b);
+
+/// Splits values into a "fast" and a "slow" group at the largest relative
+/// gap of the sorted values; returns the indices of the fast group. Used
+/// for the Sylvester experiment's two performance groups.
+[[nodiscard]] std::vector<index_t> fast_group(
+    const std::vector<double>& ticks);
+
+}  // namespace dlap

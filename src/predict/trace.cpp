@@ -1,0 +1,92 @@
+#include "predict/trace.hpp"
+
+#include "algorithms/sylv.hpp"
+#include "algorithms/trinv.hpp"
+#include "common/matrix.hpp"
+
+namespace dlap {
+
+void TraceContext::gemm(Trans transa, Trans transb, index_t m, index_t n,
+                        index_t k, double alpha, const double*, index_t lda,
+                        const double*, index_t ldb, double beta, double*,
+                        index_t ldc) {
+  KernelCall c;
+  c.routine = RoutineId::Gemm;
+  c.flags = {to_char(transa), to_char(transb)};
+  c.sizes = {m, n, k};
+  c.scalars = {alpha, beta};
+  c.leads = {lda, ldb, ldc};
+  trace_.push_back(std::move(c));
+}
+
+void TraceContext::trsm(Side side, Uplo uplo, Trans transa, Diag diag,
+                        index_t m, index_t n, double alpha, const double*,
+                        index_t lda, double*, index_t ldb) {
+  KernelCall c;
+  c.routine = RoutineId::Trsm;
+  c.flags = {to_char(side), to_char(uplo), to_char(transa), to_char(diag)};
+  c.sizes = {m, n};
+  c.scalars = {alpha};
+  c.leads = {lda, ldb};
+  trace_.push_back(std::move(c));
+}
+
+void TraceContext::trmm(Side side, Uplo uplo, Trans transa, Diag diag,
+                        index_t m, index_t n, double alpha, const double*,
+                        index_t lda, double*, index_t ldb) {
+  KernelCall c;
+  c.routine = RoutineId::Trmm;
+  c.flags = {to_char(side), to_char(uplo), to_char(transa), to_char(diag)};
+  c.sizes = {m, n};
+  c.scalars = {alpha};
+  c.leads = {lda, ldb};
+  trace_.push_back(std::move(c));
+}
+
+void TraceContext::trinv_unb(int variant, index_t n, double*, index_t ldl) {
+  KernelCall c;
+  switch (variant) {
+    case 1: c.routine = RoutineId::Trinv1Unb; break;
+    case 2: c.routine = RoutineId::Trinv2Unb; break;
+    case 3: c.routine = RoutineId::Trinv3Unb; break;
+    default: c.routine = RoutineId::Trinv4Unb; break;
+  }
+  c.sizes = {n};
+  c.leads = {ldl};
+  trace_.push_back(std::move(c));
+}
+
+void TraceContext::sylv_unb(index_t m, index_t n, const double*, index_t ldl,
+                            const double*, index_t ldu, double*,
+                            index_t ldx) {
+  KernelCall c;
+  c.routine = RoutineId::SylvUnb;
+  c.sizes = {m, n};
+  c.leads = {ldl, ldu, ldx};
+  trace_.push_back(std::move(c));
+}
+
+CallTrace trace_trinv(int variant, index_t n, index_t blocksize) {
+  // The algorithm only forms sub-block pointers; an untouched buffer keeps
+  // that arithmetic valid without costing real memory pages.
+  Matrix dummy(n, n);
+  TraceContext ctx;
+  trinv_blocked(ctx, variant, n, dummy.data(), n > 0 ? n : 1, blocksize);
+  return ctx.take();
+}
+
+CallTrace trace_sylv(int variant, index_t m, index_t n, index_t blocksize) {
+  Matrix l(m, m), u(n, n), x(m, n);
+  TraceContext ctx;
+  sylv_blocked(ctx, variant, m, n, l.data(), m > 0 ? m : 1, u.data(),
+               n > 0 ? n : 1, x.data(), m > 0 ? m : 1, blocksize);
+  return ctx.take();
+}
+
+double trace_flops(const CallTrace& trace) {
+  double total = 0.0;
+  for (const KernelCall& c : trace) total += call_flops(c);
+  return total;
+}
+
+}  // namespace dlap

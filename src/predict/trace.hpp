@@ -1,0 +1,54 @@
+#pragma once
+// Call-trace extraction (paper Section IV): "for each algorithm execution,
+// we consider the list of subroutine invocations". TraceContext implements
+// the KernelContext interface by recording a KernelCall per invocation
+// instead of computing; running a blocked algorithm against it yields the
+// exact invocation sequence the paper prints for trinv variant 1.
+
+#include <vector>
+
+#include "algorithms/kernel_context.hpp"
+#include "sampler/calls.hpp"
+
+namespace dlap {
+
+using CallTrace = std::vector<KernelCall>;
+
+class TraceContext final : public KernelContext {
+ public:
+  [[nodiscard]] const CallTrace& trace() const noexcept { return trace_; }
+  [[nodiscard]] CallTrace take() { return std::move(trace_); }
+  void clear() { trace_.clear(); }
+
+  void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
+            double alpha, const double* a, index_t lda, const double* b,
+            index_t ldb, double beta, double* c, index_t ldc) override;
+  void trsm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m,
+            index_t n, double alpha, const double* a, index_t lda, double* b,
+            index_t ldb) override;
+  void trmm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m,
+            index_t n, double alpha, const double* a, index_t lda, double* b,
+            index_t ldb) override;
+  void trinv_unb(int variant, index_t n, double* l, index_t ldl) override;
+  void sylv_unb(index_t m, index_t n, const double* l, index_t ldl,
+                const double* u, index_t ldu, double* x,
+                index_t ldx) override;
+
+ private:
+  CallTrace trace_;
+};
+
+/// Trace of trinv variant 1-4 on an n x n matrix (ldL = n) with the given
+/// block size; no numerical work is performed.
+[[nodiscard]] CallTrace trace_trinv(int variant, index_t n,
+                                    index_t blocksize);
+
+/// Trace of sylv variant 1-16 on L (m x m), U (n x n), X (m x n),
+/// ldL = ldX = m, ldU = n.
+[[nodiscard]] CallTrace trace_sylv(int variant, index_t m, index_t n,
+                                   index_t blocksize);
+
+/// Total flops across a trace (sum of call_flops).
+[[nodiscard]] double trace_flops(const CallTrace& trace);
+
+}  // namespace dlap

@@ -1,0 +1,108 @@
+#pragma once
+// Kernel-call descriptors.
+//
+// A KernelCall is the value the whole framework revolves around: the
+// Sampler measures calls, the Modeler models the mapping
+// (call arguments) -> (performance statistics), the tracer records the
+// calls a blocked algorithm makes, and the predictor evaluates models on
+// them. Arguments are classified as in the paper (Section III-A): flags,
+// sizes, scalars, data, and leading dimensions; models only account for
+// flags and sizes.
+//
+// Calls have a textual form identical in spirit to the paper's tuples,
+// e.g.  dtrsm(R,L,N,U,512,128,0.37,A,256,B,512).
+
+#include <string>
+#include <vector>
+
+#include "blas/backend.hpp"
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace dlap {
+
+/// Routines the framework can measure, model and predict.
+enum class RoutineId : int {
+  Gemm = 0,
+  Trsm,
+  Trmm,
+  Syrk,
+  Symm,
+  Syr2k,
+  Trinv1Unb,  // unblocked trinv, loop structure of blocked variant 1
+  Trinv2Unb,
+  Trinv3Unb,
+  Trinv4Unb,
+  SylvUnb,  // unblocked triangular Sylvester solve
+};
+
+inline constexpr int kRoutineCount = 11;
+
+[[nodiscard]] const char* routine_name(RoutineId id);
+[[nodiscard]] RoutineId routine_from_name(const std::string& name);
+
+/// The paper's argument classification (Section III-A).
+enum class ArgKind : char {
+  Flag = 'f',
+  Size = 's',
+  Scalar = 'a',
+  Data = 'D',
+  Lead = 'l',
+};
+
+/// Ordered argument-kind template of a routine's textual signature.
+[[nodiscard]] const std::vector<ArgKind>& routine_signature(RoutineId id);
+
+/// A concrete routine invocation. Data arguments are represented only by
+/// position (their buffers are supplied at execution time), exactly as the
+/// paper reduces them to size + storage location.
+struct KernelCall {
+  RoutineId routine = RoutineId::Gemm;
+  std::vector<char> flags;     ///< flag values in signature order
+  std::vector<index_t> sizes;  ///< size arguments in signature order
+  std::vector<double> scalars;
+  std::vector<index_t> leads;  ///< leading dimensions in signature order
+
+  /// Submodel key: the flag characters joined, e.g. "LLNN" (empty when the
+  /// routine has no flags).
+  [[nodiscard]] std::string flag_key() const {
+    return std::string(flags.begin(), flags.end());
+  }
+};
+
+/// Throws dlap::invalid_argument_error unless the field counts match the
+/// routine's signature and all sizes/leads are valid.
+void validate_call(const KernelCall& call);
+
+/// Number of double-precision flops the call performs (mult+add counted
+/// separately, matching the efficiency formulas in the paper).
+[[nodiscard]] double call_flops(const KernelCall& call);
+
+/// Shape/type of one matrix operand of a call.
+struct OperandShape {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t ld = 0;
+  enum class Fill { General, LowerTri, UpperTri, Symmetric } fill =
+      Fill::General;
+  bool written = false;  ///< operand is modified by the call
+};
+
+/// Shapes of all data operands, in signature order.
+[[nodiscard]] std::vector<OperandShape> operand_shapes(const KernelCall& c);
+
+/// Parses the textual form "name(arg,...)"; data arguments accept any
+/// token. Throws dlap::parse_error on malformed input.
+[[nodiscard]] KernelCall parse_call(const std::string& text);
+
+/// Formats a call into its canonical textual form (data args rendered as
+/// A, B, C in order).
+[[nodiscard]] std::string format_call(const KernelCall& call);
+
+/// Executes the call on the given operand buffers (one per Data argument,
+/// in signature order) using `backend` for level-3 routines and the scalar
+/// kernels for unblocked ones.
+void execute_call(const KernelCall& call, Level3Backend& backend,
+                  const std::vector<double*>& operands);
+
+}  // namespace dlap

@@ -1,0 +1,73 @@
+#include "sampler/locality.hpp"
+
+#include <vector>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define DLAPERF_HAVE_CLFLUSH 1
+#else
+#define DLAPERF_HAVE_CLFLUSH 0
+#endif
+
+namespace dlap {
+
+const char* locality_name(Locality loc) {
+  return loc == Locality::InCache ? "in_cache" : "out_of_cache";
+}
+
+Locality locality_from_name(const std::string& name) {
+  if (name == "in_cache") return Locality::InCache;
+  if (name == "out_of_cache") return Locality::OutOfCache;
+  throw parse_error("unknown locality: '" + name + "'");
+}
+
+void flush_cache() {
+  // 64 MiB of doubles: several times larger than any last-level cache this
+  // library is expected to meet. Write-then-read defeats both write
+  // allocation tricks and dead-store elimination.
+  constexpr std::size_t kFlushDoubles = 8u << 20;
+  static std::vector<double> buffer(kFlushDoubles, 1.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    buffer[i] += 1.0;
+    acc += buffer[i];
+  }
+  // Publish the accumulator so the loop cannot be optimized away.
+  volatile double sink = acc;
+  (void)sink;
+}
+
+void flush_operand(const double* data, index_t rows, index_t cols,
+                   index_t ld) {
+  if (rows == 0 || cols == 0) return;
+#if DLAPERF_HAVE_CLFLUSH
+  constexpr index_t kLine = 64 / static_cast<index_t>(sizeof(double));
+  _mm_mfence();
+  for (index_t j = 0; j < cols; ++j) {
+    const double* col = data + j * ld;
+    for (index_t i = 0; i < rows; i += kLine) {
+      _mm_clflush(col + i);
+    }
+    // Columns need not be line-aligned: cover the tail element's line.
+    _mm_clflush(col + rows - 1);
+  }
+  _mm_mfence();
+#else
+  (void)data;
+  (void)ld;
+  flush_cache();
+#endif
+}
+
+void touch_operand(const double* data, index_t rows, index_t cols,
+                   index_t ld) {
+  double acc = 0.0;
+  for (index_t j = 0; j < cols; ++j) {
+    const double* col = data + j * ld;
+    for (index_t i = 0; i < rows; ++i) acc += col[i];
+  }
+  volatile double sink = acc;
+  (void)sink;
+}
+
+}  // namespace dlap

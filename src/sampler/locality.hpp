@@ -1,0 +1,37 @@
+#pragma once
+// Memory-locality control (paper Section II-B).
+//
+// In-cache: operands are touched immediately before the timed run so they
+// sit in the lowest cache level that can hold them; this bounds the
+// routine's best-case performance. Out-of-cache: the entire cache
+// hierarchy is flushed by streaming through a buffer much larger than any
+// LLC, so the timed run pays for all data transfers.
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dlap {
+
+enum class Locality : int { InCache = 0, OutOfCache = 1 };
+
+[[nodiscard]] const char* locality_name(Locality loc);
+[[nodiscard]] Locality locality_from_name(const std::string& name);
+
+/// Evicts cached data by streaming writes+reads over a large buffer
+/// (allocated once, lazily). Coarse hammer; on machines whose last-level
+/// cache exceeds the buffer it cannot guarantee eviction, which is why the
+/// Sampler uses flush_operand instead.
+void flush_cache();
+
+/// Evicts exactly the given operand from the entire cache hierarchy via
+/// per-cache-line CLFLUSH (x86; falls back to flush_cache elsewhere).
+void flush_operand(const double* data, index_t rows, index_t cols,
+                   index_t ld);
+
+/// Reads every element of the buffer region (rows x cols, leading
+/// dimension ld) to pull it into cache.
+void touch_operand(const double* data, index_t rows, index_t cols,
+                   index_t ld);
+
+}  // namespace dlap

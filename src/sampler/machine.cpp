@@ -1,0 +1,61 @@
+#include "sampler/machine.hpp"
+
+#include <algorithm>
+
+#include "blas/registry.hpp"
+#include "common/env.hpp"
+#include "sampler/calls.hpp"
+#include "sampler/sampler.hpp"
+#include "sampler/ticks.hpp"
+
+namespace dlap {
+
+namespace {
+
+MachineInfo calibrate() {
+  MachineInfo info;
+  info.ticks_per_second = ticks_per_second();
+  info.tsc = ticks_are_tsc();
+
+  const long long override_milli = env_int("DLAPERF_FIPS_MILLI", 0);
+  if (override_milli > 0) {
+    info.flops_per_tick = static_cast<double>(override_milli) / 1000.0;
+    info.calibration = "DLAPERF_FIPS_MILLI override";
+    return info;
+  }
+
+  // Peak flops/tick of the fastest backend on an in-cache square gemm.
+  // 192 is large enough to amortize call overhead, small enough that the
+  // operands fit in L2 on any machine this library targets.
+  const index_t n = 192;
+  KernelCall call;
+  call.routine = RoutineId::Gemm;
+  call.flags = {'N', 'N'};
+  call.sizes = {n, n, n};
+  call.scalars = {1.0, 0.0};
+  call.leads = {n, n, n};
+
+  SamplerConfig cfg;
+  cfg.locality = Locality::InCache;
+  cfg.reps = 7;
+  Sampler sampler(backend_instance("packed"), cfg);
+  const std::vector<double> ticks = sampler.measure_raw(call);
+  const double best = *std::min_element(ticks.begin(), ticks.end());
+  info.flops_per_tick = call_flops(call) / std::max(best, 1.0);
+  info.calibration = "packed dgemm n=192 in-cache peak";
+  return info;
+}
+
+}  // namespace
+
+const MachineInfo& machine_info() {
+  static const MachineInfo info = calibrate();
+  return info;
+}
+
+double efficiency(double flops, double ticks) {
+  DLAP_REQUIRE(ticks > 0.0, "efficiency: nonpositive ticks");
+  return flops / (ticks * machine_info().flops_per_tick);
+}
+
+}  // namespace dlap

@@ -1,0 +1,30 @@
+#pragma once
+// Machine calibration: peak floating-point throughput in flops per tick.
+//
+// The paper's efficiency metric is flops / (ticks * fips), where fips is
+// the CPU's peak floating point instructions per cycle (Section II-A). We
+// calibrate fips empirically as the best flops/tick the fastest backend
+// achieves on an in-cache gemm, so efficiency = 1 means "as fast as the
+// best kernel this library can run on this machine". Override with the
+// DLAPERF_FIPS environment variable if an absolute hardware peak is known.
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dlap {
+
+struct MachineInfo {
+  double flops_per_tick = 1.0;  ///< calibrated (or overridden) peak
+  double ticks_per_second = 1.0;
+  bool tsc = false;             ///< ticks are hardware TSC cycles
+  std::string calibration;      ///< human-readable provenance
+};
+
+/// Calibrated once per process (first call runs the calibration gemm).
+[[nodiscard]] const MachineInfo& machine_info();
+
+/// flops / (ticks * fips): the fraction of peak ALU throughput used.
+[[nodiscard]] double efficiency(double flops, double ticks);
+
+}  // namespace dlap

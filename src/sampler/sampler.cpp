@@ -1,0 +1,106 @@
+#include "sampler/sampler.hpp"
+
+#include "common/matrix.hpp"
+#include "common/matrix_util.hpp"
+#include "common/rng.hpp"
+#include "sampler/ticks.hpp"
+
+namespace dlap {
+
+Sampler::Sampler(Level3Backend& backend, SamplerConfig config)
+    : backend_(&backend), config_(config) {
+  DLAP_REQUIRE(config_.reps >= 1, "sampler: reps must be >= 1");
+  DLAP_REQUIRE(config_.warmup_reps >= 0, "sampler: negative warmup_reps");
+}
+
+std::vector<double> Sampler::measure_raw(const KernelCall& call) {
+  validate_call(call);
+  const std::vector<OperandShape> shapes = operand_shapes(call);
+
+  // Allocate and fill operands; keep pristine copies of written ones so
+  // every repetition sees identical inputs (triangular solves would
+  // otherwise drift rep over rep).
+  Rng rng(config_.seed);
+  std::vector<Matrix> operands;
+  std::vector<Matrix> pristine;
+  operands.reserve(shapes.size());
+  for (const OperandShape& s : shapes) {
+    Matrix m(s.rows, s.cols, s.ld);
+    switch (s.fill) {
+      case OperandShape::Fill::LowerTri:
+        fill_lower_triangular(m.view(), rng);
+        break;
+      case OperandShape::Fill::UpperTri:
+        fill_upper_triangular(m.view(), rng);
+        break;
+      case OperandShape::Fill::General:
+      case OperandShape::Fill::Symmetric:
+        // Performance does not depend on symmetry of the values; uniform
+        // content suffices (only one triangle is ever read).
+        fill_uniform(m.view(), rng);
+        break;
+    }
+    operands.push_back(std::move(m));
+  }
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    if (!shapes[i].written) continue;
+    Matrix copy(shapes[i].rows, shapes[i].cols, shapes[i].ld);
+    copy_matrix(operands[i].view(), copy.view());
+    pristine.push_back(std::move(copy));
+  }
+
+  std::vector<double*> ptrs;
+  ptrs.reserve(operands.size());
+  for (Matrix& m : operands) ptrs.push_back(m.data());
+
+  const auto restore_written = [&] {
+    std::size_t pi = 0;
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      if (!shapes[i].written) continue;
+      copy_matrix(pristine[pi++].view(), operands[i].view());
+    }
+  };
+
+  // Warm-up: untimed executions that also absorb lazy library/buffer
+  // initialization (the paper's first-invocation outlier, Section II-B).
+  if (!config_.include_first_call) {
+    const index_t warmups = std::max<index_t>(config_.warmup_reps, 1);
+    for (index_t w = 0; w < warmups; ++w) {
+      restore_written();
+      execute_call(call, *backend_, ptrs);
+    }
+  }
+
+  std::vector<double> ticks;
+  ticks.reserve(static_cast<std::size_t>(config_.reps));
+  for (index_t r = 0; r < config_.reps; ++r) {
+    restore_written();
+    if (config_.locality == Locality::OutOfCache) {
+      for (std::size_t i = 0; i < shapes.size(); ++i) {
+        flush_operand(operands[i].data(), shapes[i].rows, shapes[i].cols,
+                      shapes[i].ld);
+      }
+    } else {
+      for (std::size_t i = 0; i < shapes.size(); ++i) {
+        touch_operand(operands[i].data(), shapes[i].rows, shapes[i].cols,
+                      shapes[i].ld);
+      }
+    }
+    const std::uint64_t t0 = read_ticks();
+    execute_call(call, *backend_, ptrs);
+    const std::uint64_t t1 = read_ticks();
+    ticks.push_back(static_cast<double>(t1 - t0));
+    ++total_timed_runs_;
+  }
+  return ticks;
+}
+
+SampleStats Sampler::measure(const KernelCall& call) {
+  return summarize(measure_raw(call));
+}
+
+SampleStats Sampler::measure_text(const std::string& call_text) {
+  return measure(parse_call(call_text));
+}
+
+}  // namespace dlap

@@ -1,0 +1,65 @@
+#pragma once
+// The Sampler (paper Section II-C): a lightweight performance measurement
+// tool that takes routine invocations (KernelCall tuples or their textual
+// form), executes them repeatedly on a chosen BLAS implementation under a
+// chosen memory-locality regime, and reports statistical summaries of the
+// observed ticks.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blas/backend.hpp"
+#include "sampler/calls.hpp"
+#include "sampler/locality.hpp"
+#include "sampler/stats.hpp"
+
+namespace dlap {
+
+struct SamplerConfig {
+  Locality locality = Locality::InCache;
+  /// Timed repetitions per call.
+  index_t reps = 5;
+  /// Untimed executions before the timed ones. At least one is needed to
+  /// absorb the paper's first-invocation initialization outlier; set
+  /// `include_first_call` to observe that outlier instead.
+  index_t warmup_reps = 1;
+  /// When true, no warm-up is performed and the cold first invocation is
+  /// part of the samples (used by the Fig II.1 reproduction).
+  bool include_first_call = false;
+  /// Seed for operand content (performance of dense kernels is
+  /// data-independent, but determinism keeps runs comparable).
+  std::uint64_t seed = 42;
+};
+
+class Sampler {
+ public:
+  explicit Sampler(Level3Backend& backend, SamplerConfig config = {});
+
+  /// Raw tick counts, one per timed repetition.
+  [[nodiscard]] std::vector<double> measure_raw(const KernelCall& call);
+
+  /// Statistical summary over the timed repetitions.
+  [[nodiscard]] SampleStats measure(const KernelCall& call);
+
+  /// Convenience: parse the paper-style textual form and measure.
+  [[nodiscard]] SampleStats measure_text(const std::string& call_text);
+
+  [[nodiscard]] Level3Backend& backend() const noexcept { return *backend_; }
+  [[nodiscard]] const SamplerConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Total timed executions performed by this sampler (sample budget
+  /// accounting for the Modeler comparisons, Fig III.8).
+  [[nodiscard]] std::uint64_t total_timed_runs() const noexcept {
+    return total_timed_runs_;
+  }
+
+ private:
+  Level3Backend* backend_;
+  SamplerConfig config_;
+  std::uint64_t total_timed_runs_ = 0;
+};
+
+}  // namespace dlap

@@ -1,0 +1,90 @@
+#include "sampler/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlap {
+
+const char* stat_name(Stat s) {
+  switch (s) {
+    case Stat::Min: return "min";
+    case Stat::Median: return "median";
+    case Stat::Mean: return "mean";
+    case Stat::Max: return "max";
+    case Stat::Stddev: return "stddev";
+  }
+  return "?";
+}
+
+Stat stat_from_name(const std::string& name) {
+  for (int i = 0; i < kStatCount; ++i) {
+    if (name == stat_name(static_cast<Stat>(i))) return static_cast<Stat>(i);
+  }
+  throw parse_error("unknown statistic: '" + name + "'");
+}
+
+double SampleStats::get(Stat s) const {
+  switch (s) {
+    case Stat::Min: return min;
+    case Stat::Median: return median;
+    case Stat::Mean: return mean;
+    case Stat::Max: return max;
+    case Stat::Stddev: return stddev;
+  }
+  return 0.0;
+}
+
+void SampleStats::set(Stat s, double v) {
+  switch (s) {
+    case Stat::Min: min = v; break;
+    case Stat::Median: median = v; break;
+    case Stat::Mean: mean = v; break;
+    case Stat::Max: max = v; break;
+    case Stat::Stddev: stddev = v; break;
+  }
+}
+
+std::array<double, kStatCount> SampleStats::as_array() const {
+  return {min, median, mean, max, stddev};
+}
+
+SampleStats summarize(std::vector<double> samples) {
+  DLAP_REQUIRE(!samples.empty(), "summarize: no samples");
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+
+  SampleStats out;
+  out.count = static_cast<index_t>(n);
+  out.min = samples.front();
+  out.max = samples.back();
+  out.median = (n % 2 == 1)
+                   ? samples[n / 2]
+                   : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  out.mean = sum / static_cast<double>(n);
+
+  if (n > 1) {
+    double ss = 0.0;
+    for (double v : samples) {
+      const double d = v - out.mean;
+      ss += d * d;
+    }
+    out.stddev = std::sqrt(ss / static_cast<double>(n - 1));
+  }
+  return out;
+}
+
+double quantile(std::vector<double> samples, double q) {
+  DLAP_REQUIRE(!samples.empty(), "quantile: no samples");
+  DLAP_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q out of [0,1]");
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace dlap

@@ -1,0 +1,57 @@
+#pragma once
+// Summary statistics over repeated measurements.
+//
+// The paper treats a routine's performance as a probabilistic distribution
+// and extracts "certain properties of this distribution, such as minimum,
+// average, standard deviation, and median" (Section II-B). SampleStats is
+// the vector of those properties; it is the value type carried through
+// models and predictions.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dlap {
+
+/// The statistical quantities tracked for every measured call. Order
+/// matters: models fit one polynomial per entry.
+enum class Stat : int {
+  Min = 0,
+  Median = 1,
+  Mean = 2,
+  Max = 3,
+  Stddev = 4,
+};
+
+inline constexpr int kStatCount = 5;
+
+[[nodiscard]] const char* stat_name(Stat s);
+[[nodiscard]] Stat stat_from_name(const std::string& name);
+
+/// Fixed-size vector of the statistical quantities.
+struct SampleStats {
+  double min = 0.0;
+  double median = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+  index_t count = 0;
+
+  [[nodiscard]] double get(Stat s) const;
+  void set(Stat s, double v);
+
+  /// Element access in Stat order, convenient for fitting loops.
+  [[nodiscard]] std::array<double, kStatCount> as_array() const;
+};
+
+/// Computes all quantities from raw samples (throws on empty input).
+/// Median is the midpoint-of-sorted convention; stddev is the sample
+/// standard deviation (n-1 denominator, 0 for a single sample).
+[[nodiscard]] SampleStats summarize(std::vector<double> samples);
+
+/// Quantile (0 <= q <= 1) with linear interpolation, for reporting.
+[[nodiscard]] double quantile(std::vector<double> samples, double q);
+
+}  // namespace dlap

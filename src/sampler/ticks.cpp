@@ -1,0 +1,52 @@
+#include "sampler/ticks.hpp"
+
+#include <chrono>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define DLAPERF_HAVE_TSC 1
+#else
+#define DLAPERF_HAVE_TSC 0
+#endif
+
+namespace dlap {
+
+std::uint64_t read_ticks() noexcept {
+#if DLAPERF_HAVE_TSC
+  unsigned aux = 0;
+  return __rdtscp(&aux);
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+bool ticks_are_tsc() noexcept { return DLAPERF_HAVE_TSC != 0; }
+
+double ticks_per_second() {
+  static const double rate = [] {
+#if DLAPERF_HAVE_TSC
+    // Calibrate the TSC against steady_clock over a short busy interval.
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t c0 = read_ticks();
+    for (;;) {
+      const auto t1 = std::chrono::steady_clock::now();
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          t1 - t0)
+                          .count();
+      if (ns >= 10'000'000) {  // 10 ms is plenty for 4-digit accuracy
+        const std::uint64_t c1 = read_ticks();
+        return static_cast<double>(c1 - c0) * 1e9 /
+               static_cast<double>(ns);
+      }
+    }
+#else
+    return 1e9;  // nanosecond ticks
+#endif
+  }();
+  return rate;
+}
+
+}  // namespace dlap

@@ -1,0 +1,24 @@
+#pragma once
+// Cycle-accurate timing.
+//
+// The paper's fundamental metric is `ticks`, read from the x86 time stamp
+// counter via RDTSC (Section II-A; PAPI ultimately reads the same
+// register). On x86-64 we use RDTSCP, which waits for earlier instructions
+// to retire; elsewhere we fall back to std::chrono::steady_clock
+// nanoseconds (still a monotone "tick" count, only the unit changes).
+
+#include <cstdint>
+
+namespace dlap {
+
+/// Current tick count (TSC cycles on x86-64, nanoseconds elsewhere).
+[[nodiscard]] std::uint64_t read_ticks() noexcept;
+
+/// Measured ticks per second, calibrated once per process against
+/// steady_clock (used to convert tick counts to seconds for reporting).
+[[nodiscard]] double ticks_per_second();
+
+/// True when the tick source is the hardware TSC.
+[[nodiscard]] bool ticks_are_tsc() noexcept;
+
+}  // namespace dlap

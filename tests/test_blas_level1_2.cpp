@@ -1,0 +1,205 @@
+// Unit tests for level-1 and level-2 BLAS kernels, including BLAS
+// increment semantics and failure injection (singular solves).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/level1.hpp"
+#include "blas/level2.hpp"
+#include "common/matrix.hpp"
+#include "common/matrix_util.hpp"
+#include "common/rng.hpp"
+
+namespace dlap {
+namespace {
+
+using blas::dasum;
+using blas::daxpy;
+using blas::dcopy;
+using blas::ddot;
+using blas::dgemv;
+using blas::dger;
+using blas::dnrm2;
+using blas::dscal;
+using blas::dswap;
+using blas::dsymv;
+using blas::dtrmv;
+using blas::dtrsv;
+using blas::idamax;
+
+TEST(Level1, ScalScalesInPlace) {
+  std::vector<double> x{1, 2, 3};
+  dscal(3, 2.0, x.data(), 1);
+  EXPECT_EQ(x, (std::vector<double>{2, 4, 6}));
+}
+
+TEST(Level1, ScalWithStride) {
+  std::vector<double> x{1, 9, 2, 9, 3};
+  dscal(3, 10.0, x.data(), 2);
+  EXPECT_EQ(x, (std::vector<double>{10, 9, 20, 9, 30}));
+}
+
+TEST(Level1, ScalEmptyIsNoop) {
+  std::vector<double> x{1.0};
+  dscal(0, 5.0, x.data(), 1);
+  EXPECT_EQ(x[0], 1.0);
+}
+
+TEST(Level1, CopyWithNegativeIncrementReverses) {
+  // BLAS semantics: inc < 0 traverses backwards from (1-n)*inc.
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y(3, 0.0);
+  dcopy(3, x.data(), 1, y.data(), -1);
+  EXPECT_EQ(y, (std::vector<double>{3, 2, 1}));
+}
+
+TEST(Level1, AxpyAccumulates) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{10, 20, 30};
+  daxpy(3, 2.0, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{12, 24, 36}));
+}
+
+TEST(Level1, AxpyZeroAlphaIsNoop) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{4, 5, 6};
+  daxpy(3, 0.0, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{4, 5, 6}));
+}
+
+TEST(Level1, DotComputesInnerProduct) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(ddot(3, x.data(), 1, y.data(), 1), 32.0);
+  EXPECT_DOUBLE_EQ(ddot(0, x.data(), 1, y.data(), 1), 0.0);
+}
+
+TEST(Level1, Nrm2MatchesDefinitionAndResistsOverflow) {
+  std::vector<double> x{3, 4};
+  EXPECT_DOUBLE_EQ(dnrm2(2, x.data(), 1), 5.0);
+  // Values whose squares overflow must still give a finite norm.
+  std::vector<double> big{1e200, 1e200};
+  const double n = dnrm2(2, big.data(), 1);
+  EXPECT_TRUE(std::isfinite(n));
+  EXPECT_NEAR(n, std::sqrt(2.0) * 1e200, 1e187);
+}
+
+TEST(Level1, AsumAndIdamax) {
+  std::vector<double> x{-1, 4, -7, 2};
+  EXPECT_DOUBLE_EQ(dasum(4, x.data(), 1), 14.0);
+  EXPECT_EQ(idamax(4, x.data(), 1), 2);
+  EXPECT_EQ(idamax(0, x.data(), 1), -1);
+}
+
+TEST(Level1, SwapExchangesContents) {
+  std::vector<double> x{1, 2};
+  std::vector<double> y{3, 4};
+  dswap(2, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(x, (std::vector<double>{3, 4}));
+  EXPECT_EQ(y, (std::vector<double>{1, 2}));
+}
+
+// ------------------------------------------------------------------ gemv
+
+TEST(Level2, GemvNoTrans) {
+  // A = [1 2; 3 4] col-major, x = [1, 1]: A*x = [3, 7].
+  std::vector<double> a{1, 3, 2, 4};
+  std::vector<double> x{1, 1};
+  std::vector<double> y{100, 100};
+  dgemv(Trans::NoTrans, 2, 2, 1.0, a.data(), 2, x.data(), 1, 0.0, y.data(),
+        1);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Level2, GemvTransposeAndBeta) {
+  std::vector<double> a{1, 3, 2, 4};
+  std::vector<double> x{1, 1};
+  std::vector<double> y{1, 1};
+  dgemv(Trans::Transpose, 2, 2, 2.0, a.data(), 2, x.data(), 1, 3.0, y.data(),
+        1);
+  // A^T x = [4, 6]; y = 2*[4,6] + 3*[1,1] = [11, 15].
+  EXPECT_DOUBLE_EQ(y[0], 11.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Level2, GerRankOneUpdate) {
+  Matrix a(2, 2);
+  std::vector<double> x{1, 2};
+  std::vector<double> y{3, 4};
+  dger(2, 2, 1.0, x.data(), 1, y.data(), 1, a.data(), 2);
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 8.0);
+}
+
+// ------------------------------------------------------- trmv/trsv pair
+
+class TrxvRoundTrip : public ::testing::TestWithParam<
+                          std::tuple<Uplo, Trans, Diag, index_t>> {};
+
+TEST_P(TrxvRoundTrip, TrsvInvertsTrmv) {
+  const auto [uplo, trans, diag, n] = GetParam();
+  Rng rng(99);
+  Matrix a(n, n);
+  if (uplo == Uplo::Lower) {
+    fill_lower_triangular(a.view(), rng);
+  } else {
+    fill_upper_triangular(a.view(), rng);
+  }
+  std::vector<double> x(n), x0(n);
+  for (index_t i = 0; i < n; ++i) x[i] = x0[i] = rng.uniform(-1, 1);
+
+  dtrmv(uplo, trans, diag, n, a.data(), n, x.data(), 1);
+  dtrsv(uplo, trans, diag, n, a.data(), n, x.data(), 1);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x0[i], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFlags, TrxvRoundTrip,
+    ::testing::Combine(::testing::Values(Uplo::Lower, Uplo::Upper),
+                       ::testing::Values(Trans::NoTrans, Trans::Transpose),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit),
+                       ::testing::Values<index_t>(1, 7, 32)));
+
+TEST(Level2, TrsvSingularThrows) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 0.0;  // singular
+  a(2, 2) = 1.0;
+  std::vector<double> x{1, 1, 1};
+  EXPECT_THROW(dtrsv(Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 3, a.data(),
+                     3, x.data(), 1),
+               numerical_error);
+  // Unit diagonal ignores the stored zero.
+  EXPECT_NO_THROW(dtrsv(Uplo::Lower, Trans::NoTrans, Diag::Unit, 3, a.data(),
+                        3, x.data(), 1));
+}
+
+TEST(Level2, SymvUsesOnlyStoredTriangle) {
+  // Symmetric A = [2 5; 5 3] stored only in the lower triangle; the upper
+  // triangle holds garbage that must not be read.
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(1, 0) = 5.0;
+  a(1, 1) = 3.0;
+  a(0, 1) = 999.0;  // garbage
+  std::vector<double> x{1, 1};
+  std::vector<double> y{0, 0};
+  dsymv(Uplo::Lower, 2, 1.0, a.data(), 2, x.data(), 1, 0.0, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 8.0);
+}
+
+TEST(Level2, GemvRejectsBadLd) {
+  std::vector<double> a(4), x(2), y(2);
+  EXPECT_THROW(dgemv(Trans::NoTrans, 2, 2, 1.0, a.data(), 1, x.data(), 1, 0.0,
+                     y.data(), 1),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace dlap

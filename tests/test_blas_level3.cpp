@@ -1,0 +1,469 @@
+// Level-3 BLAS backend tests: every backend (naive, blocked, packed, and a
+// threaded decorator) is verified against independent dense oracles built
+// in this file, across all flag combinations, odd sizes, and leading
+// dimensions; plus quick-return and failure-injection cases.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "blas/registry.hpp"
+#include "common/matrix.hpp"
+#include "common/matrix_util.hpp"
+#include "common/rng.hpp"
+
+namespace dlap {
+namespace {
+
+// Dense oracle helpers ------------------------------------------------
+
+// Materializes op(T) of a triangular matrix (honoring diag) as dense.
+Matrix expand_triangular(const Matrix& a, Uplo uplo, Trans trans, Diag diag) {
+  const index_t n = a.rows();
+  Matrix full(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      const bool stored = (uplo == Uplo::Lower) ? (i >= j) : (i <= j);
+      double v = stored ? a(i, j) : 0.0;
+      if (i == j && diag == Diag::Unit) v = 1.0;
+      full(i, j) = v;
+    }
+  }
+  if (trans == Trans::NoTrans) return full;
+  Matrix t(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) t(i, j) = full(j, i);
+  return t;
+}
+
+// C = alpha * A * B + beta * C with dense A (rows x inner), B (inner x cols).
+void dense_gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
+                Matrix& c) {
+  for (index_t j = 0; j < c.cols(); ++j) {
+    for (index_t i = 0; i < c.rows(); ++i) {
+      double s = 0.0;
+      for (index_t l = 0; l < a.cols(); ++l) s += a(i, l) * b(l, j);
+      c(i, j) = alpha * s + beta * c(i, j);
+    }
+  }
+}
+
+Matrix materialize_op(const Matrix& x, Trans trans) {
+  if (trans == Trans::NoTrans) {
+    Matrix out(x.rows(), x.cols());
+    copy_matrix(x.view(), out.view());
+    return out;
+  }
+  Matrix out(x.cols(), x.rows());
+  for (index_t j = 0; j < out.cols(); ++j)
+    for (index_t i = 0; i < out.rows(); ++i) out(i, j) = x(j, i);
+  return out;
+}
+
+Level3Backend& backend(const std::string& name) {
+  return backend_instance(name);
+}
+
+const char* kBackends[] = {"naive", "blocked", "packed", "blocked@4"};
+
+// ------------------------------------------------------------------ gemm
+
+class GemmTest : public ::testing::TestWithParam<
+                     std::tuple<const char*, Trans, Trans>> {};
+
+TEST_P(GemmTest, MatchesDenseOracleOnOddSizes) {
+  const auto [bname, ta, tb] = GetParam();
+  Rng rng(17);
+  const struct { index_t m, n, k; } cases[] = {
+      {5, 7, 3}, {97, 65, 33}, {1, 19, 8}, {64, 1, 16}, {33, 29, 1}};
+  for (const auto& cs : cases) {
+    const index_t am = (ta == Trans::NoTrans) ? cs.m : cs.k;
+    const index_t an = (ta == Trans::NoTrans) ? cs.k : cs.m;
+    const index_t bm = (tb == Trans::NoTrans) ? cs.k : cs.n;
+    const index_t bn = (tb == Trans::NoTrans) ? cs.n : cs.k;
+    Matrix a(am, an, am + 3), b(bm, bn, bm + 1), c(cs.m, cs.n, cs.m + 2);
+    fill_uniform(a.view(), rng);
+    fill_uniform(b.view(), rng);
+    fill_uniform(c.view(), rng);
+
+    Matrix expected(cs.m, cs.n);
+    copy_matrix(c.view(), expected.view());
+    const Matrix opa = materialize_op(a, ta);
+    const Matrix opb = materialize_op(b, tb);
+    dense_gemm(0.7, opa, opb, -1.3, expected);
+
+    backend(bname).gemm(ta, tb, cs.m, cs.n, cs.k, 0.7, a.data(), a.ld(),
+                        b.data(), b.ld(), -1.3, c.data(), c.ld());
+    EXPECT_LT(relative_diff(c.view(), expected.view()), 1e-12)
+        << bname << " m=" << cs.m << " n=" << cs.n << " k=" << cs.k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAndTrans, GemmTest,
+    ::testing::Combine(::testing::ValuesIn(kBackends),
+                       ::testing::Values(Trans::NoTrans, Trans::Transpose),
+                       ::testing::Values(Trans::NoTrans, Trans::Transpose)));
+
+class GemmEdgeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GemmEdgeTest, QuickReturnsAndScaling) {
+  Rng rng(5);
+  Matrix a(8, 8), b(8, 8), c(8, 8);
+  fill_uniform(a.view(), rng);
+  fill_uniform(b.view(), rng);
+  fill_uniform(c.view(), rng);
+  Matrix c0(8, 8);
+  copy_matrix(c.view(), c0.view());
+  Level3Backend& bk = backend(GetParam());
+
+  // m == 0 / n == 0: C untouched.
+  bk.gemm(Trans::NoTrans, Trans::NoTrans, 0, 8, 8, 1.0, a.data(), 8, b.data(),
+          8, 0.0, c.data(), 8);
+  bk.gemm(Trans::NoTrans, Trans::NoTrans, 8, 0, 8, 1.0, a.data(), 8, b.data(),
+          8, 0.0, c.data(), 8);
+  EXPECT_EQ(relative_diff(c.view(), c0.view()), 0.0);
+
+  // k == 0 with beta: pure scaling.
+  bk.gemm(Trans::NoTrans, Trans::NoTrans, 8, 8, 0, 1.0, a.data(), 8, b.data(),
+          8, 2.0, c.data(), 8);
+  for (index_t j = 0; j < 8; ++j)
+    for (index_t i = 0; i < 8; ++i)
+      EXPECT_DOUBLE_EQ(c(i, j), 2.0 * c0(i, j));
+
+  // alpha == 0, beta == 0: exact zeroing even with NaN-free guarantee.
+  bk.gemm(Trans::NoTrans, Trans::NoTrans, 8, 8, 8, 0.0, a.data(), 8, b.data(),
+          8, 0.0, c.data(), 8);
+  EXPECT_EQ(max_abs(c.view()), 0.0);
+}
+
+TEST_P(GemmEdgeTest, RejectsBadLeadingDimensions) {
+  Matrix a(8, 8), b(8, 8), c(8, 8);
+  EXPECT_THROW(backend(GetParam()).gemm(Trans::NoTrans, Trans::NoTrans, 8, 8,
+                                        8, 1.0, a.data(), 4, b.data(), 8, 0.0,
+                                        c.data(), 8),
+               invalid_argument_error);
+  EXPECT_THROW(backend(GetParam()).gemm(Trans::NoTrans, Trans::NoTrans, -1, 8,
+                                        8, 1.0, a.data(), 8, b.data(), 8, 0.0,
+                                        c.data(), 8),
+               invalid_argument_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, GemmEdgeTest,
+                         ::testing::ValuesIn(kBackends));
+
+// ------------------------------------------------------------------ trsm
+
+class TrsmTest : public ::testing::TestWithParam<
+                     std::tuple<const char*, Side, Uplo, Trans, Diag>> {};
+
+TEST_P(TrsmTest, ResidualOfSolvedSystemIsTiny) {
+  const auto [bname, side, uplo, trans, diag] = GetParam();
+  Rng rng(23);
+  const struct { index_t m, n; } cases[] = {{37, 21}, {96, 100}, {1, 5}};
+  for (const auto& cs : cases) {
+    const index_t asz = (side == Side::Left) ? cs.m : cs.n;
+    Matrix a(asz, asz, asz + 2);
+    if (uplo == Uplo::Lower) {
+      fill_lower_triangular(a.view(), rng);
+    } else {
+      fill_upper_triangular(a.view(), rng);
+    }
+    Matrix b(cs.m, cs.n, cs.m + 1);
+    fill_uniform(b.view(), rng);
+    Matrix b0(cs.m, cs.n);
+    copy_matrix(b.view(), b0.view());
+
+    const double alpha = 0.37;
+    backend(bname).trsm(side, uplo, trans, diag, cs.m, cs.n, alpha, a.data(),
+                        a.ld(), b.data(), b.ld());
+
+    // Verify op(A) * X == alpha * B0 (left) or X * op(A) == alpha * B0.
+    const Matrix opa = expand_triangular(a, uplo, trans, diag);
+    Matrix lhs(cs.m, cs.n);
+    if (side == Side::Left) {
+      Matrix x(cs.m, cs.n);
+      copy_matrix(b.view(), x.view());
+      dense_gemm(1.0, opa, x, 0.0, lhs);
+    } else {
+      Matrix x(cs.m, cs.n);
+      copy_matrix(b.view(), x.view());
+      dense_gemm(1.0, x, opa, 0.0, lhs);
+    }
+    Matrix rhs(cs.m, cs.n);
+    copy_matrix(b0.view(), rhs.view());
+    for (index_t j = 0; j < cs.n; ++j)
+      for (index_t i = 0; i < cs.m; ++i) rhs(i, j) *= alpha;
+    EXPECT_LT(relative_diff(lhs.view(), rhs.view()), 1e-10)
+        << bname << " m=" << cs.m << " n=" << cs.n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAndFlags, TrsmTest,
+    ::testing::Combine(::testing::ValuesIn(kBackends),
+                       ::testing::Values(Side::Left, Side::Right),
+                       ::testing::Values(Uplo::Lower, Uplo::Upper),
+                       ::testing::Values(Trans::NoTrans, Trans::Transpose),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+TEST(TrsmFailure, SingularMatrixThrowsOnEveryBackend) {
+  for (const char* bname : kBackends) {
+    Matrix a(4, 4);
+    a(0, 0) = 1.0;
+    a(1, 1) = 1.0;
+    a(2, 2) = 0.0;  // singular
+    a(3, 3) = 1.0;
+    Matrix b(4, 3);
+    Rng rng(1);
+    fill_uniform(b.view(), rng);
+    EXPECT_THROW(backend(bname).trsm(Side::Left, Uplo::Lower, Trans::NoTrans,
+                                     Diag::NonUnit, 4, 3, 1.0, a.data(), 4,
+                                     b.data(), 4),
+                 numerical_error)
+        << bname;
+  }
+}
+
+// ------------------------------------------------------------------ trmm
+
+class TrmmTest : public ::testing::TestWithParam<
+                     std::tuple<const char*, Side, Uplo, Trans, Diag>> {};
+
+TEST_P(TrmmTest, MatchesDenseOracle) {
+  const auto [bname, side, uplo, trans, diag] = GetParam();
+  Rng rng(31);
+  const struct { index_t m, n; } cases[] = {{41, 27}, {100, 96}, {3, 1}};
+  for (const auto& cs : cases) {
+    const index_t asz = (side == Side::Left) ? cs.m : cs.n;
+    Matrix a(asz, asz, asz + 1);
+    if (uplo == Uplo::Lower) {
+      fill_lower_triangular(a.view(), rng);
+    } else {
+      fill_upper_triangular(a.view(), rng);
+    }
+    Matrix b(cs.m, cs.n, cs.m + 4);
+    fill_uniform(b.view(), rng);
+
+    const double alpha = -1.5;
+    const Matrix opa = expand_triangular(a, uplo, trans, diag);
+    Matrix expected(cs.m, cs.n);
+    {
+      Matrix bb(cs.m, cs.n);
+      copy_matrix(b.view(), bb.view());
+      if (side == Side::Left) {
+        dense_gemm(alpha, opa, bb, 0.0, expected);
+      } else {
+        dense_gemm(alpha, bb, opa, 0.0, expected);
+      }
+    }
+
+    backend(bname).trmm(side, uplo, trans, diag, cs.m, cs.n, alpha, a.data(),
+                        a.ld(), b.data(), b.ld());
+    EXPECT_LT(relative_diff(b.view(), expected.view()), 1e-12)
+        << bname << " m=" << cs.m << " n=" << cs.n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAndFlags, TrmmTest,
+    ::testing::Combine(::testing::ValuesIn(kBackends),
+                       ::testing::Values(Side::Left, Side::Right),
+                       ::testing::Values(Uplo::Lower, Uplo::Upper),
+                       ::testing::Values(Trans::NoTrans, Trans::Transpose),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+// ------------------------------------------------------------ syrk/symm
+
+class SyrkTest : public ::testing::TestWithParam<
+                     std::tuple<const char*, Uplo, Trans>> {};
+
+TEST_P(SyrkTest, MatchesOracleAndPreservesOtherTriangle) {
+  const auto [bname, uplo, trans] = GetParam();
+  Rng rng(7);
+  const index_t n = 67, k = 43;
+  Matrix a((trans == Trans::NoTrans) ? n : k,
+           (trans == Trans::NoTrans) ? k : n);
+  fill_uniform(a.view(), rng);
+  Matrix c(n, n);
+  fill_uniform(c.view(), rng);
+  Matrix c0(n, n);
+  copy_matrix(c.view(), c0.view());
+
+  const Matrix opa = materialize_op(a, trans);
+  Matrix full(n, n);
+  copy_matrix(c.view(), full.view());
+  // full = 0.9 * opa * opa^T + 0.4 * c0 (dense, both triangles).
+  Matrix opat = materialize_op(opa, Trans::Transpose);
+  dense_gemm(0.9, opa, opat, 0.4, full);
+
+  backend(bname).syrk(uplo, trans, n, k, 0.9, a.data(), a.ld(), 0.4, c.data(),
+                      c.ld());
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      const bool in_triangle = (uplo == Uplo::Lower) ? (i >= j) : (i <= j);
+      const double want = in_triangle ? full(i, j) : c0(i, j);
+      EXPECT_NEAR(c(i, j), want, 1e-10 * k)
+          << bname << " (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAndFlags, SyrkTest,
+    ::testing::Combine(::testing::ValuesIn(kBackends),
+                       ::testing::Values(Uplo::Lower, Uplo::Upper),
+                       ::testing::Values(Trans::NoTrans, Trans::Transpose)));
+
+class SymmTest : public ::testing::TestWithParam<
+                     std::tuple<const char*, Side, Uplo>> {};
+
+TEST_P(SymmTest, MatchesOracleReadingOnlyStoredTriangle) {
+  const auto [bname, side, uplo] = GetParam();
+  Rng rng(13);
+  const index_t m = 53, n = 38;
+  const index_t asz = (side == Side::Left) ? m : n;
+
+  // Build symmetric values, then poison the unstored triangle.
+  Matrix a(asz, asz);
+  fill_uniform(a.view(), rng);
+  for (index_t j = 0; j < asz; ++j)
+    for (index_t i = 0; i < j; ++i) a(i, j) = a(j, i);
+  Matrix sym(asz, asz);
+  copy_matrix(a.view(), sym.view());
+  for (index_t j = 0; j < asz; ++j) {
+    for (index_t i = 0; i < asz; ++i) {
+      const bool stored = (uplo == Uplo::Lower) ? (i >= j) : (i <= j);
+      if (!stored) a(i, j) = 1e30;  // must never be read
+    }
+  }
+
+  Matrix b(m, n), c(m, n);
+  fill_uniform(b.view(), rng);
+  fill_uniform(c.view(), rng);
+  Matrix expected(m, n);
+  copy_matrix(c.view(), expected.view());
+  if (side == Side::Left) {
+    dense_gemm(1.1, sym, b, 0.5, expected);
+  } else {
+    dense_gemm(1.1, b, sym, 0.5, expected);
+  }
+
+  backend(bname).symm(side, uplo, m, n, 1.1, a.data(), a.ld(), b.data(),
+                      b.ld(), 0.5, c.data(), c.ld());
+  EXPECT_LT(relative_diff(c.view(), expected.view()), 1e-10) << bname;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAndFlags, SymmTest,
+    ::testing::Combine(::testing::ValuesIn(kBackends),
+                       ::testing::Values(Side::Left, Side::Right),
+                       ::testing::Values(Uplo::Lower, Uplo::Upper)));
+
+class Syr2kTest : public ::testing::TestWithParam<
+                      std::tuple<const char*, Uplo, Trans>> {};
+
+TEST_P(Syr2kTest, MatchesOracle) {
+  const auto [bname, uplo, trans] = GetParam();
+  Rng rng(29);
+  const index_t n = 49, k = 21;
+  const index_t rows = (trans == Trans::NoTrans) ? n : k;
+  const index_t cols = (trans == Trans::NoTrans) ? k : n;
+  Matrix a(rows, cols), b(rows, cols), c(n, n);
+  fill_uniform(a.view(), rng);
+  fill_uniform(b.view(), rng);
+  fill_uniform(c.view(), rng);
+  Matrix c0(n, n);
+  copy_matrix(c.view(), c0.view());
+
+  const Matrix opa = materialize_op(a, trans);
+  const Matrix opb = materialize_op(b, trans);
+  Matrix full(n, n);
+  copy_matrix(c0.view(), full.view());
+  Matrix opbt = materialize_op(opb, Trans::Transpose);
+  Matrix opat = materialize_op(opa, Trans::Transpose);
+  dense_gemm(0.6, opa, opbt, 0.2, full);
+  dense_gemm(0.6, opb, opat, 1.0, full);
+
+  backend(bname).syr2k(uplo, trans, n, k, 0.6, a.data(), a.ld(), b.data(),
+                       b.ld(), 0.2, c.data(), c.ld());
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      const bool in_triangle = (uplo == Uplo::Lower) ? (i >= j) : (i <= j);
+      const double want = in_triangle ? full(i, j) : c0(i, j);
+      EXPECT_NEAR(c(i, j), want, 1e-10 * k) << bname;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAndFlags, Syr2kTest,
+    ::testing::Combine(::testing::ValuesIn(kBackends),
+                       ::testing::Values(Uplo::Lower, Uplo::Upper),
+                       ::testing::Values(Trans::NoTrans, Trans::Transpose)));
+
+// --------------------------------------------------------------- registry
+
+TEST(Registry, KnownBackendsResolve) {
+  for (const std::string& name : builtin_backend_names()) {
+    EXPECT_EQ(make_backend(name)->name(), name);
+  }
+}
+
+TEST(Registry, ThreadedSpecParsing) {
+  auto bk = make_backend("blocked@3");
+  EXPECT_EQ(bk->name(), "blocked@3");
+  EXPECT_EQ(bk->threads(), 3);
+}
+
+TEST(Registry, UnknownBackendThrows) {
+  EXPECT_THROW(make_backend("mkl"), lookup_error);
+  EXPECT_THROW(make_backend("blocked@x"), parse_error);
+  EXPECT_THROW(make_backend("blocked@0"), invalid_argument_error);
+}
+
+TEST(Registry, InstanceCacheReturnsSameObject) {
+  Level3Backend& a = backend_instance("naive");
+  Level3Backend& b = backend_instance("naive");
+  EXPECT_EQ(&a, &b);
+}
+
+// Property: trmm followed by trsm with identical operands restores B
+// (checks the two routines agree on semantics within each backend).
+class TrxmRoundTrip
+    : public ::testing::TestWithParam<std::tuple<const char*, Side, Uplo>> {};
+
+TEST_P(TrxmRoundTrip, TrsmUndoesTrmm) {
+  const auto [bname, side, uplo] = GetParam();
+  Rng rng(41);
+  const index_t m = 60, n = 45;
+  const index_t asz = (side == Side::Left) ? m : n;
+  Matrix a(asz, asz);
+  if (uplo == Uplo::Lower) {
+    fill_lower_triangular(a.view(), rng);
+  } else {
+    fill_upper_triangular(a.view(), rng);
+  }
+  Matrix b(m, n);
+  fill_uniform(b.view(), rng);
+  Matrix b0(m, n);
+  copy_matrix(b.view(), b0.view());
+
+  Level3Backend& bk = backend(bname);
+  bk.trmm(side, uplo, Trans::NoTrans, Diag::NonUnit, m, n, 2.0, a.data(), asz,
+          b.data(), m);
+  bk.trsm(side, uplo, Trans::NoTrans, Diag::NonUnit, m, n, 0.5, a.data(), asz,
+          b.data(), m);
+  EXPECT_LT(relative_diff(b.view(), b0.view()), 1e-10) << bname;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, TrxmRoundTrip,
+    ::testing::Combine(::testing::ValuesIn(kBackends),
+                       ::testing::Values(Side::Left, Side::Right),
+                       ::testing::Values(Uplo::Lower, Uplo::Upper)));
+
+}  // namespace
+}  // namespace dlap

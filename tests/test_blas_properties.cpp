@@ -1,0 +1,201 @@
+// Property-based level-3 BLAS tests: algebraic identities that must hold
+// for every backend across randomized shapes, leading dimensions and
+// scalars. These complement the oracle comparisons in test_blas_level3
+// with invariants that need no reference implementation at all.
+
+#include <gtest/gtest.h>
+
+#include "blas/registry.hpp"
+#include "common/matrix.hpp"
+#include "common/matrix_util.hpp"
+#include "common/rng.hpp"
+
+namespace dlap {
+namespace {
+
+struct Shape {
+  index_t m, n, k;
+};
+
+class BlasProperty
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {
+ protected:
+  Level3Backend& bk() { return backend_instance(std::get<0>(GetParam())); }
+  Rng rng_{static_cast<std::uint64_t>(std::get<1>(GetParam()) * 7919 + 13)};
+  Shape random_shape() {
+    return {rng_.uniform_int(1, 80), rng_.uniform_int(1, 80),
+            rng_.uniform_int(1, 80)};
+  }
+};
+
+// gemm is linear in alpha: C(2a) - C(0) == 2 * (C(a) - C(0)).
+TEST_P(BlasProperty, GemmLinearInAlpha) {
+  const Shape s = random_shape();
+  Matrix a(s.m, s.k), b(s.k, s.n), c0(s.m, s.n);
+  fill_uniform(a.view(), rng_);
+  fill_uniform(b.view(), rng_);
+  fill_uniform(c0.view(), rng_);
+  const double alpha = rng_.uniform(0.1, 2.0);
+
+  auto run = [&](double al) {
+    Matrix c(s.m, s.n);
+    copy_matrix(c0.view(), c.view());
+    bk().gemm(Trans::NoTrans, Trans::NoTrans, s.m, s.n, s.k, al, a.data(),
+              s.m, b.data(), s.k, 1.0, c.data(), s.m);
+    return c;
+  };
+  const Matrix c1 = run(alpha);
+  const Matrix c2 = run(2.0 * alpha);
+  for (index_t j = 0; j < s.n; ++j) {
+    for (index_t i = 0; i < s.m; ++i) {
+      EXPECT_NEAR(c2(i, j) - c0(i, j), 2.0 * (c1(i, j) - c0(i, j)),
+                  1e-9 * s.k);
+    }
+  }
+}
+
+// (A B)^T == B^T A^T expressed through transpose flags.
+TEST_P(BlasProperty, GemmTransposeIdentity) {
+  const Shape s = random_shape();
+  Matrix a(s.m, s.k), b(s.k, s.n);
+  fill_uniform(a.view(), rng_);
+  fill_uniform(b.view(), rng_);
+
+  Matrix ab(s.m, s.n);
+  bk().gemm(Trans::NoTrans, Trans::NoTrans, s.m, s.n, s.k, 1.0, a.data(),
+            s.m, b.data(), s.k, 0.0, ab.data(), s.m);
+  // Compute (B^T A^T) directly into an n x m matrix.
+  Matrix btat(s.n, s.m);
+  bk().gemm(Trans::Transpose, Trans::Transpose, s.n, s.m, s.k, 1.0, b.data(),
+            s.k, a.data(), s.m, 0.0, btat.data(), s.n);
+  for (index_t j = 0; j < s.n; ++j) {
+    for (index_t i = 0; i < s.m; ++i) {
+      EXPECT_NEAR(ab(i, j), btat(j, i), 1e-10 * s.k);
+    }
+  }
+}
+
+// gemm accumulation: C += A*B1 then C += A*B2 equals C += A*(B1+B2).
+TEST_P(BlasProperty, GemmDistributesOverB) {
+  const Shape s = random_shape();
+  Matrix a(s.m, s.k), b1(s.k, s.n), b2(s.k, s.n), bsum(s.k, s.n);
+  fill_uniform(a.view(), rng_);
+  fill_uniform(b1.view(), rng_);
+  fill_uniform(b2.view(), rng_);
+  for (index_t j = 0; j < s.n; ++j)
+    for (index_t i = 0; i < s.k; ++i) bsum(i, j) = b1(i, j) + b2(i, j);
+
+  Matrix c_seq(s.m, s.n), c_sum(s.m, s.n);
+  bk().gemm(Trans::NoTrans, Trans::NoTrans, s.m, s.n, s.k, 1.0, a.data(),
+            s.m, b1.data(), s.k, 0.0, c_seq.data(), s.m);
+  bk().gemm(Trans::NoTrans, Trans::NoTrans, s.m, s.n, s.k, 1.0, a.data(),
+            s.m, b2.data(), s.k, 1.0, c_seq.data(), s.m);
+  bk().gemm(Trans::NoTrans, Trans::NoTrans, s.m, s.n, s.k, 1.0, a.data(),
+            s.m, bsum.data(), s.k, 0.0, c_sum.data(), s.m);
+  EXPECT_LT(relative_diff(c_seq.view(), c_sum.view()), 1e-11);
+}
+
+// trsm(alpha) == alpha * trsm(1): scaling commutes with the solve.
+TEST_P(BlasProperty, TrsmScalingCommutes) {
+  const Shape s = random_shape();
+  Matrix a(s.m, s.m), b0(s.m, s.n);
+  fill_lower_triangular(a.view(), rng_);
+  fill_uniform(b0.view(), rng_);
+  const double alpha = rng_.uniform(0.25, 3.0);
+
+  Matrix b1(s.m, s.n), b2(s.m, s.n);
+  copy_matrix(b0.view(), b1.view());
+  copy_matrix(b0.view(), b2.view());
+  bk().trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, s.m,
+            s.n, alpha, a.data(), s.m, b1.data(), s.m);
+  bk().trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, s.m,
+            s.n, 1.0, a.data(), s.m, b2.data(), s.m);
+  for (index_t j = 0; j < s.n; ++j)
+    for (index_t i = 0; i < s.m; ++i) b2(i, j) *= alpha;
+  EXPECT_LT(relative_diff(b1.view(), b2.view()), 1e-10);
+}
+
+// Unit-diagonal solves ignore the stored diagonal entirely.
+TEST_P(BlasProperty, UnitDiagIgnoresStoredDiagonal) {
+  const Shape s = random_shape();
+  Matrix a(s.m, s.m), b0(s.m, s.n);
+  fill_lower_triangular(a.view(), rng_);
+  fill_uniform(b0.view(), rng_);
+
+  Matrix b1(s.m, s.n), b2(s.m, s.n);
+  copy_matrix(b0.view(), b1.view());
+  copy_matrix(b0.view(), b2.view());
+  bk().trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, s.m, s.n,
+            1.0, a.data(), s.m, b1.data(), s.m);
+  for (index_t i = 0; i < s.m; ++i) a(i, i) = 1e9;  // poison the diagonal
+  bk().trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, s.m, s.n,
+            1.0, a.data(), s.m, b2.data(), s.m);
+  EXPECT_EQ(relative_diff(b1.view(), b2.view()), 0.0);
+}
+
+// trmm against gemm with an explicitly expanded triangle.
+TEST_P(BlasProperty, TrmmEqualsGemmOnExpandedTriangle) {
+  const Shape s = random_shape();
+  Matrix a(s.n, s.n), b(s.m, s.n);
+  fill_upper_triangular(a.view(), rng_);
+  fill_uniform(b.view(), rng_);
+
+  Matrix viatrmm(s.m, s.n);
+  copy_matrix(b.view(), viatrmm.view());
+  bk().trmm(Side::Right, Uplo::Upper, Trans::NoTrans, Diag::NonUnit, s.m,
+            s.n, 1.0, a.data(), s.n, viatrmm.data(), s.m);
+  Matrix viagemm(s.m, s.n);
+  bk().gemm(Trans::NoTrans, Trans::NoTrans, s.m, s.n, s.n, 1.0, b.data(),
+            s.m, a.data(), s.n, 0.0, viagemm.data(), s.m);
+  EXPECT_LT(relative_diff(viatrmm.view(), viagemm.view()), 1e-11);
+}
+
+// syrk result is what gemm(A, A^T) puts in the stored triangle.
+TEST_P(BlasProperty, SyrkMatchesGemmTriangle) {
+  const Shape s = random_shape();
+  Matrix a(s.n, s.k), c(s.n, s.n), full(s.n, s.n);
+  fill_uniform(a.view(), rng_);
+  bk().syrk(Uplo::Lower, Trans::NoTrans, s.n, s.k, 1.0, a.data(), s.n, 0.0,
+            c.data(), s.n);
+  bk().gemm(Trans::NoTrans, Trans::Transpose, s.n, s.n, s.k, 1.0, a.data(),
+            s.n, a.data(), s.n, 0.0, full.data(), s.n);
+  for (index_t j = 0; j < s.n; ++j) {
+    for (index_t i = j; i < s.n; ++i) {
+      EXPECT_NEAR(c(i, j), full(i, j), 1e-10 * s.k);
+    }
+  }
+}
+
+// Threaded decorator computes exactly what its inner backend computes.
+TEST_P(BlasProperty, ThreadedMatchesSequential) {
+  const std::string base = std::get<0>(GetParam());
+  Level3Backend& seq = backend_instance(base);
+  Level3Backend& par = backend_instance(base + "@3");
+  const index_t m = 150, n = 170, k = 90;  // beyond the sequential cutoff
+  Matrix a(m, k), b(k, n), c1(m, n), c2(m, n);
+  fill_uniform(a.view(), rng_);
+  fill_uniform(b.view(), rng_);
+  seq.gemm(Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0, a.data(), m,
+           b.data(), k, 0.0, c1.data(), m);
+  par.gemm(Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0, a.data(), m,
+           b.data(), k, 0.0, c2.data(), m);
+  EXPECT_EQ(relative_diff(c1.view(), c2.view()), 0.0);
+
+  Matrix t(m, m), x1(m, n), x2(m, n);
+  fill_lower_triangular(t.view(), rng_);
+  fill_uniform(x1.view(), rng_);
+  copy_matrix(x1.view(), x2.view());
+  seq.trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, m, n,
+           1.0, t.data(), m, x1.data(), m);
+  par.trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, m, n,
+           1.0, t.data(), m, x2.data(), m);
+  EXPECT_EQ(relative_diff(x1.view(), x2.view()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsAndSeeds, BlasProperty,
+    ::testing::Combine(::testing::Values("naive", "blocked", "packed"),
+                       ::testing::Range(0, 5)));
+
+}  // namespace
+}  // namespace dlap

@@ -1,0 +1,518 @@
+// Tests for the modeling substrate: monomial bases, polynomials, least
+// squares, regions, fitting, piecewise models, and repository
+// serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "modeler/fit.hpp"
+#include "modeler/lstsq.hpp"
+#include "modeler/model.hpp"
+#include "modeler/polynomial.hpp"
+#include "modeler/region.hpp"
+#include "modeler/repository.hpp"
+#include "common/matrix_util.hpp"
+#include "common/rng.hpp"
+
+namespace dlap {
+namespace {
+
+// ------------------------------------------------------------- monomials
+
+TEST(Monomials, CountMatchesBinomial) {
+  EXPECT_EQ(monomial_count(1, 2), 3);   // 1, x, x^2
+  EXPECT_EQ(monomial_count(2, 2), 6);
+  EXPECT_EQ(monomial_count(3, 2), 10);
+  EXPECT_EQ(monomial_count(2, 3), 10);
+  EXPECT_EQ(monomial_count(3, 3), 20);
+}
+
+TEST(Monomials, BasisIsGradedAndComplete) {
+  const auto basis = monomial_basis(2, 2);
+  ASSERT_EQ(basis.size(), 6u);
+  // First entry is the constant term.
+  EXPECT_EQ(basis[0], (std::vector<int>{0, 0}));
+  // Degrees are non-decreasing.
+  int prev = 0;
+  for (const auto& m : basis) {
+    int deg = 0;
+    for (int e : m) deg += e;
+    EXPECT_GE(deg, prev);
+    prev = deg;
+    EXPECT_LE(deg, 2);
+  }
+}
+
+TEST(Polynomial, EvaluatesKnownCoefficients) {
+  // p(x) = 1 + 2z + 3z^2 with z = (x - 10) / 5.
+  Normalization norm{{10.0}, {5.0}};
+  Polynomial p(1, 2, norm, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(p.evaluate({10.0}), 1.0);   // z=0
+  EXPECT_DOUBLE_EQ(p.evaluate({15.0}), 6.0);   // z=1
+  EXPECT_DOUBLE_EQ(p.evaluate({5.0}), 2.0);    // z=-1
+}
+
+TEST(Polynomial, TwoDimensionalCrossTerm) {
+  // Basis order for dims=2, degree=2: 1, y, x, y^2, xy, x^2 (graded-lex
+  // with exponent vectors (0,0),(0,1),(1,0),(0,2),(1,1),(2,0)).
+  Normalization norm{{0.0, 0.0}, {1.0, 1.0}};
+  Polynomial p(2, 2, norm, {0, 0, 0, 0, 1.0, 0});
+  EXPECT_DOUBLE_EQ(p.evaluate({3.0, 4.0}), 12.0);
+}
+
+TEST(Polynomial, CoefficientCountValidated) {
+  Normalization norm{{0.0}, {1.0}};
+  EXPECT_THROW(Polynomial(1, 2, norm, {1.0, 2.0}), invalid_argument_error);
+}
+
+TEST(VecPolynomial, ClampsNegativeEstimatesToZero) {
+  Normalization norm{{0.0}, {1.0}};
+  std::vector<std::vector<double>> coeffs(kStatCount,
+                                          std::vector<double>{-5.0});
+  VecPolynomial vp(1, 0, norm, coeffs);
+  const SampleStats s = vp.evaluate({1.0});
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+  // evaluate_stat is unclamped.
+  EXPECT_DOUBLE_EQ(vp.evaluate_stat(Stat::Median, {1.0}), -5.0);
+}
+
+// ------------------------------------------------------------------ lstsq
+
+TEST(Lstsq, SolvesExactSquareSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0;
+  Matrix b(2, 1);
+  b(0, 0) = 5.0;
+  b(1, 0) = 10.0;
+  const LstsqResult r = lstsq(a.view(), b.view());
+  EXPECT_EQ(r.rank, 2);
+  EXPECT_NEAR(r.x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(r.x(1, 0), 3.0, 1e-12);
+}
+
+TEST(Lstsq, OverdeterminedConsistentSystemIsExact) {
+  // y = 3 + 2x sampled at 5 points: quadratic-free exact recovery.
+  Matrix a(5, 2);
+  Matrix b(5, 1);
+  for (index_t i = 0; i < 5; ++i) {
+    const double x = static_cast<double>(i);
+    a(i, 0) = 1.0;
+    a(i, 1) = x;
+    b(i, 0) = 3.0 + 2.0 * x;
+  }
+  const LstsqResult r = lstsq(a.view(), b.view());
+  EXPECT_NEAR(r.x(0, 0), 3.0, 1e-12);
+  EXPECT_NEAR(r.x(1, 0), 2.0, 1e-12);
+}
+
+TEST(Lstsq, MinimizesResidualNorm) {
+  // Inconsistent system: solution must satisfy the normal equations
+  // (residual orthogonal to the column space).
+  Rng rng(3);
+  Matrix a(20, 4);
+  Matrix b(20, 1);
+  fill_uniform(a.view(), rng);
+  fill_uniform(b.view(), rng);
+  const LstsqResult r = lstsq(a.view(), b.view());
+  // res = b - A x; check A^T res ~ 0.
+  std::vector<double> res(20);
+  for (index_t i = 0; i < 20; ++i) {
+    double s = b(i, 0);
+    for (index_t j = 0; j < 4; ++j) s -= a(i, j) * r.x(j, 0);
+    res[i] = s;
+  }
+  for (index_t j = 0; j < 4; ++j) {
+    double dot = 0.0;
+    for (index_t i = 0; i < 20; ++i) dot += a(i, j) * res[i];
+    EXPECT_NEAR(dot, 0.0, 1e-10);
+  }
+}
+
+TEST(Lstsq, RankDeficientSystemYieldsFiniteBasicSolution) {
+  // Two identical columns: rank 1.
+  Matrix a(4, 2);
+  Matrix b(4, 1);
+  for (index_t i = 0; i < 4; ++i) {
+    a(i, 0) = a(i, 1) = static_cast<double>(i + 1);
+    b(i, 0) = 2.0 * static_cast<double>(i + 1);
+  }
+  const LstsqResult r = lstsq(a.view(), b.view());
+  EXPECT_EQ(r.rank, 1);
+  // Fitted values must still reproduce b.
+  for (index_t i = 0; i < 4; ++i) {
+    const double fit = a(i, 0) * r.x(0, 0) + a(i, 1) * r.x(1, 0);
+    EXPECT_NEAR(fit, b(i, 0), 1e-10);
+  }
+}
+
+TEST(Lstsq, MultipleRightHandSidesShareFactorization) {
+  Matrix a(6, 3);
+  Matrix b(6, 2);
+  Rng rng(9);
+  fill_uniform(a.view(), rng);
+  // b columns = known combinations of a's columns.
+  for (index_t i = 0; i < 6; ++i) {
+    b(i, 0) = a(i, 0) + 2.0 * a(i, 2);
+    b(i, 1) = -a(i, 1);
+  }
+  const LstsqResult r = lstsq(a.view(), b.view());
+  EXPECT_NEAR(r.x(0, 0), 1.0, 1e-10);
+  EXPECT_NEAR(r.x(1, 0), 0.0, 1e-10);
+  EXPECT_NEAR(r.x(2, 0), 2.0, 1e-10);
+  EXPECT_NEAR(r.x(1, 1), -1.0, 1e-10);
+}
+
+TEST(Lstsq, RejectsMismatchedShapes) {
+  Matrix a(4, 2), b(3, 1);
+  EXPECT_THROW(lstsq(a.view(), b.view()), invalid_argument_error);
+}
+
+TEST(SingularValues, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const auto sv = singular_values(a.view());
+  ASSERT_EQ(sv.size(), 3u);
+  EXPECT_NEAR(sv[0], 3.0, 1e-10);
+  EXPECT_NEAR(sv[1], 2.0, 1e-10);
+  EXPECT_NEAR(sv[2], 1.0, 1e-10);
+}
+
+TEST(SingularValues, WideMatrixHandled) {
+  Matrix a(2, 5);
+  Rng rng(4);
+  fill_uniform(a.view(), rng);
+  const auto sv = singular_values(a.view());
+  EXPECT_EQ(sv.size(), 2u);
+  EXPECT_GE(sv[0], sv[1]);
+  // Frobenius norm identity: sum sv^2 == ||A||_F^2.
+  double fro2 = 0.0;
+  for (index_t j = 0; j < 5; ++j)
+    for (index_t i = 0; i < 2; ++i) fro2 += a(i, j) * a(i, j);
+  EXPECT_NEAR(sv[0] * sv[0] + sv[1] * sv[1], fro2, 1e-10);
+}
+
+// ----------------------------------------------------------------- region
+
+TEST(Region, ContainsAndIntersects) {
+  const Region r({8, 8}, {64, 128});
+  EXPECT_TRUE(r.contains(std::vector<index_t>{8, 8}));
+  EXPECT_TRUE(r.contains(std::vector<index_t>{64, 128}));
+  EXPECT_FALSE(r.contains(std::vector<index_t>{65, 8}));
+  EXPECT_TRUE(r.intersects(Region({64, 100}, {200, 200})));
+  EXPECT_FALSE(r.intersects(Region({65, 129}, {200, 200})));
+}
+
+TEST(Region, RejectsInvertedBounds) {
+  EXPECT_THROW(Region({10}, {5}), invalid_argument_error);
+}
+
+TEST(Region, SnapToGrid) {
+  EXPECT_EQ(snap_to_grid(13, 8, 8, 64), 16);
+  EXPECT_EQ(snap_to_grid(11, 8, 8, 64), 8);
+  EXPECT_EQ(snap_to_grid(100, 8, 8, 64), 64);  // clamped
+  EXPECT_EQ(snap_to_grid(0, 8, 8, 64), 8);     // clamped
+}
+
+TEST(Region, SplitProducesDisjointCoveringChildren) {
+  const Region r({8, 8}, {136, 136});
+  const auto children = r.split(/*min_size=*/32, /*granularity=*/8);
+  ASSERT_EQ(children.size(), 4u);
+  // Children share midlines; all lie within the parent.
+  for (const Region& c : children) {
+    EXPECT_GE(c.lo(0), r.lo(0));
+    EXPECT_LE(c.hi(1), r.hi(1));
+  }
+}
+
+TEST(Region, SplitRespectsMinSize) {
+  const Region r({8}, {40});  // extent 32 < 2*32
+  const auto children = r.split(32, 8);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0], r);
+}
+
+TEST(Region, SplitPartialDimensions) {
+  // Only the wide dimension is split.
+  const Region r({8, 8}, {264, 40});
+  const auto children = r.split(32, 8);
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0].hi(1), 40);
+  EXPECT_EQ(children[1].hi(1), 40);
+}
+
+TEST(Region, SampleGridEndpointsAndGranularity) {
+  const Region r({8}, {64});
+  const auto grid = r.sample_grid(4, 8);
+  ASSERT_GE(grid.size(), 2u);
+  EXPECT_EQ(grid.front()[0], 8);
+  EXPECT_EQ(grid.back()[0], 64);
+  for (const auto& p : grid) EXPECT_EQ(p[0] % 8, 0);
+}
+
+TEST(Region, SampleGridCartesianProduct) {
+  const Region r({8, 8}, {64, 64});
+  const auto grid = r.sample_grid(3, 8);
+  EXPECT_EQ(grid.size(), 9u);
+}
+
+TEST(Region, SampleGridDegenerateDimension) {
+  // A region that is a single lattice point wide still yields samples.
+  const Region r({16, 8}, {16, 64});
+  const auto grid = r.sample_grid(3, 8);
+  for (const auto& p : grid) EXPECT_EQ(p[0], 16);
+  EXPECT_GE(grid.size(), 2u);
+}
+
+TEST(Region, DistanceIsChebyshevOutside) {
+  const Region r({0, 0}, {10, 10});
+  EXPECT_EQ(r.distance({5.0, 5.0}), 0.0);
+  EXPECT_EQ(r.distance({15.0, 5.0}), 5.0);
+  EXPECT_EQ(r.distance({-2.0, 13.0}), 3.0);
+}
+
+// -------------------------------------------------------------------- fit
+
+std::vector<SamplePoint> sample_function(
+    const Region& region, index_t step,
+    const std::function<double(const std::vector<index_t>&)>& f) {
+  std::vector<SamplePoint> out;
+  std::vector<index_t> p(static_cast<std::size_t>(region.dims()));
+  // 1-D / 2-D helper sufficient for these tests.
+  if (region.dims() == 1) {
+    for (index_t x = region.lo(0); x <= region.hi(0); x += step) {
+      SampleStats s;
+      const double v = f({x});
+      s.min = s.median = s.mean = s.max = v;
+      out.push_back({{x}, s});
+    }
+  } else {
+    for (index_t x = region.lo(0); x <= region.hi(0); x += step) {
+      for (index_t y = region.lo(1); y <= region.hi(1); y += step) {
+        SampleStats s;
+        const double v = f({x, y});
+        s.min = s.median = s.mean = s.max = v;
+        out.push_back({{x, y}, s});
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Fit, RecoversExactQuadratic) {
+  const Region r({8}, {128});
+  const auto samples = sample_function(r, 8, [](const auto& p) {
+    const double x = static_cast<double>(p[0]);
+    return 100.0 + 3.0 * x + 0.25 * x * x;
+  });
+  const FitResult fit = fit_polynomial(r, samples, 2);
+  EXPECT_LT(fit.erelmax, 1e-10);
+  EXPECT_LT(fit.mean_rel_error, 1e-10);
+  EXPECT_NEAR(fit.poly.evaluate_stat(Stat::Median, {100.0}),
+              100.0 + 300.0 + 2500.0, 1e-6);
+}
+
+TEST(Fit, UnderResolvedCubicHasError) {
+  const Region r({8}, {256});
+  const auto samples = sample_function(r, 8, [](const auto& p) {
+    const double x = static_cast<double>(p[0]);
+    return x * x * x;
+  });
+  const FitResult quad = fit_polynomial(r, samples, 2);
+  const FitResult cube = fit_polynomial(r, samples, 3);
+  EXPECT_GT(quad.erelmax, 0.01);   // quadratic can't represent x^3
+  EXPECT_LT(cube.erelmax, 1e-9);
+}
+
+TEST(Fit, TwoDimensionalMixedTerm) {
+  const Region r({8, 8}, {64, 64});
+  const auto samples = sample_function(r, 8, [](const auto& p) {
+    return 5.0 + static_cast<double>(p[0] * p[1]);
+  });
+  const FitResult fit = fit_polynomial(r, samples, 2);
+  EXPECT_LT(fit.erelmax, 1e-10);
+}
+
+TEST(Fit, FitsAllStatisticsIndependently) {
+  const Region r({8}, {64});
+  std::vector<SamplePoint> samples;
+  for (index_t x = 8; x <= 64; x += 8) {
+    SampleStats s;
+    s.min = static_cast<double>(x);
+    s.median = static_cast<double>(2 * x);
+    s.mean = static_cast<double>(3 * x);
+    s.max = static_cast<double>(4 * x);
+    s.stddev = 1.0;
+    samples.push_back({{x}, s});
+  }
+  const FitResult fit = fit_polynomial(r, samples, 1);
+  EXPECT_NEAR(fit.poly.evaluate_stat(Stat::Min, {32.0}), 32.0, 1e-9);
+  EXPECT_NEAR(fit.poly.evaluate_stat(Stat::Median, {32.0}), 64.0, 1e-9);
+  EXPECT_NEAR(fit.poly.evaluate_stat(Stat::Mean, {32.0}), 96.0, 1e-9);
+  EXPECT_NEAR(fit.poly.evaluate_stat(Stat::Max, {32.0}), 128.0, 1e-9);
+  EXPECT_NEAR(fit.poly.evaluate_stat(Stat::Stddev, {32.0}), 1.0, 1e-9);
+}
+
+TEST(Fit, SingleSampleDegradesGracefully) {
+  const Region r({8}, {8});
+  std::vector<SamplePoint> samples;
+  SampleStats s;
+  s.min = s.median = s.mean = s.max = 42.0;
+  samples.push_back({{8}, s});
+  const FitResult fit = fit_polynomial(r, samples, 2);
+  EXPECT_NEAR(fit.poly.evaluate_stat(Stat::Median, {8.0}), 42.0, 1e-9);
+}
+
+TEST(Fit, RelativeErrorGuardsAgainstZeroDenominator) {
+  EXPECT_DOUBLE_EQ(relative_error(1.0, 2.0), 0.5);
+  EXPECT_GT(relative_error(1.0, 0.0), 1e6);
+}
+
+// -------------------------------------------------------- piecewise model
+
+RegionModel make_constant_piece(Region region, double value, double err) {
+  Normalization norm;
+  norm.shift.assign(static_cast<std::size_t>(region.dims()), 0.0);
+  norm.scale.assign(static_cast<std::size_t>(region.dims()), 1.0);
+  std::vector<std::vector<double>> coeffs(kStatCount,
+                                          std::vector<double>{value});
+  RegionModel piece;
+  piece.region = std::move(region);
+  piece.poly = VecPolynomial(piece.region.dims(), 0, norm, coeffs);
+  piece.fit_error = err;
+  piece.mean_error = err;
+  piece.samples_used = 10;
+  return piece;
+}
+
+TEST(PiecewiseModel, SelectsContainingRegion) {
+  std::vector<RegionModel> pieces;
+  pieces.push_back(make_constant_piece(Region({0}, {10}), 1.0, 0.01));
+  pieces.push_back(make_constant_piece(Region({11}, {20}), 2.0, 0.01));
+  const PiecewiseModel m(Region({0}, {20}), std::move(pieces));
+  EXPECT_DOUBLE_EQ(m.evaluate(std::vector<index_t>{5}).median, 1.0);
+  EXPECT_DOUBLE_EQ(m.evaluate(std::vector<index_t>{15}).median, 2.0);
+}
+
+TEST(PiecewiseModel, OverlapResolvedByAccuracy) {
+  // Paper footnote 6: the most accurate overlapping region wins.
+  std::vector<RegionModel> pieces;
+  pieces.push_back(make_constant_piece(Region({0}, {20}), 1.0, 0.10));
+  pieces.push_back(make_constant_piece(Region({5}, {15}), 2.0, 0.01));
+  const PiecewiseModel m(Region({0}, {20}), std::move(pieces));
+  EXPECT_DOUBLE_EQ(m.evaluate(std::vector<index_t>{10}).median, 2.0);
+  EXPECT_DOUBLE_EQ(m.evaluate(std::vector<index_t>{2}).median, 1.0);
+}
+
+TEST(PiecewiseModel, OutOfDomainClampsToNearestRegion) {
+  std::vector<RegionModel> pieces;
+  pieces.push_back(make_constant_piece(Region({8}, {64}), 3.0, 0.01));
+  const PiecewiseModel m(Region({8}, {64}), std::move(pieces));
+  EXPECT_DOUBLE_EQ(m.evaluate(std::vector<index_t>{4}).median, 3.0);
+  EXPECT_DOUBLE_EQ(m.evaluate(std::vector<index_t>{100}).median, 3.0);
+}
+
+TEST(PiecewiseModel, AverageErrorIsSampleWeighted) {
+  std::vector<RegionModel> pieces;
+  RegionModel a = make_constant_piece(Region({0}, {10}), 1.0, 0.0);
+  a.mean_error = 0.1;
+  a.samples_used = 10;
+  RegionModel b = make_constant_piece(Region({11}, {20}), 1.0, 0.0);
+  b.mean_error = 0.2;
+  b.samples_used = 30;
+  pieces.push_back(a);
+  pieces.push_back(b);
+  const PiecewiseModel m(Region({0}, {20}), std::move(pieces));
+  EXPECT_NEAR(m.average_error(), (0.1 * 10 + 0.2 * 30) / 40.0, 1e-12);
+  EXPECT_EQ(m.total_samples(), 40);
+}
+
+TEST(PiecewiseModel, EmptyModelRejected) {
+  EXPECT_THROW(PiecewiseModel(Region({0}, {1}), {}), invalid_argument_error);
+}
+
+// ------------------------------------------------------------- repository
+
+RoutineModel make_test_model() {
+  std::vector<RegionModel> pieces;
+  pieces.push_back(make_constant_piece(Region({8, 8}, {64, 64}), 5.5, 0.02));
+  pieces.push_back(
+      make_constant_piece(Region({8, 72}, {64, 128}), 7.25, 0.04));
+  RoutineModel m;
+  m.key = {"dtrsm", "blocked", Locality::InCache, "LLNN"};
+  m.model = PiecewiseModel(Region({8, 8}, {64, 128}), std::move(pieces));
+  m.unique_samples = 123;
+  m.average_error = 0.03;
+  m.strategy = "refinement";
+  return m;
+}
+
+TEST(Repository, SerializeDeserializeRoundTrip) {
+  const RoutineModel m = make_test_model();
+  const std::string text = ModelRepository::serialize(m);
+  const RoutineModel back = ModelRepository::deserialize(text);
+  EXPECT_EQ(back.key, m.key);
+  EXPECT_EQ(back.unique_samples, 123);
+  EXPECT_EQ(back.strategy, "refinement");
+  ASSERT_EQ(back.model.pieces().size(), 2u);
+  // Evaluations agree everywhere.
+  for (index_t x = 8; x <= 64; x += 8) {
+    for (index_t y = 8; y <= 128; y += 8) {
+      const std::vector<index_t> p{x, y};
+      EXPECT_DOUBLE_EQ(back.model.evaluate(p).median,
+                       m.model.evaluate(p).median);
+    }
+  }
+}
+
+TEST(Repository, StoreLoadListContains) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "dlaperf_test_repo_slc";
+  std::filesystem::remove_all(dir);
+  ModelRepository repo(dir);
+  const RoutineModel m = make_test_model();
+  EXPECT_FALSE(repo.contains(m.key));
+  repo.store(m);
+  EXPECT_TRUE(repo.contains(m.key));
+  const RoutineModel back = repo.load(m.key);
+  EXPECT_EQ(back.key, m.key);
+  const auto keys = repo.list();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], m.key);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Repository, MissingModelThrowsLookupError) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "dlaperf_test_repo_missing";
+  std::filesystem::remove_all(dir);
+  ModelRepository repo(dir);
+  EXPECT_THROW(repo.load({"dtrsm", "blocked", Locality::InCache, "LLNN"}),
+               lookup_error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Repository, CorruptedFileThrowsParseError) {
+  EXPECT_THROW(ModelRepository::deserialize("not a model"), parse_error);
+  // Truncated file.
+  const std::string text = ModelRepository::serialize(make_test_model());
+  EXPECT_THROW(ModelRepository::deserialize(text.substr(0, text.size() / 2)),
+               parse_error);
+}
+
+TEST(Repository, FilenameEncodesKeyAndIsStable) {
+  ModelKey key{"dtrsm", "blocked@8", Locality::OutOfCache, "LLNN"};
+  EXPECT_EQ(ModelRepository::filename(key),
+            "dtrsm__blockedt8__out_of_cache__LLNN.model");
+  ModelKey noflags{"sylv_unb", "naive", Locality::InCache, ""};
+  EXPECT_EQ(ModelRepository::filename(noflags),
+            "sylv_unb__naive__in_cache__noflags.model");
+}
+
+}  // namespace
+}  // namespace dlap

@@ -1,0 +1,296 @@
+// Tests for the two model-generation strategies on synthetic,
+// deterministic cost functions: error bounds respected, domains covered,
+// jumps localized, sample accounting sane, and configuration knobs
+// behaving as the paper describes (Figs III.6-III.8).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "modeler/strategies.hpp"
+
+namespace dlap {
+namespace {
+
+// Deterministic measurement source: all statistics equal f(x), stddev 0.
+MeasureFn make_fn(std::function<double(const std::vector<index_t>&)> f) {
+  return [f = std::move(f)](const std::vector<index_t>& p) {
+    SampleStats s;
+    const double v = f(p);
+    s.min = s.median = s.mean = s.max = v;
+    s.stddev = 0.0;
+    s.count = 1;
+    return s;
+  };
+}
+
+// Checks model accuracy against truth on a dense lattice.
+double max_model_error(const PiecewiseModel& model, index_t step,
+                       const std::function<double(const std::vector<index_t>&)>& f) {
+  const Region& d = model.domain();
+  double worst = 0.0;
+  if (d.dims() == 1) {
+    for (index_t x = d.lo(0); x <= d.hi(0); x += step) {
+      const double est = model.evaluate(std::vector<index_t>{x}).median;
+      const double truth = f({x});
+      worst = std::max(worst, std::abs(est - truth) /
+                                  std::max(std::abs(truth), 1e-9));
+    }
+  } else {
+    for (index_t x = d.lo(0); x <= d.hi(0); x += step) {
+      for (index_t y = d.lo(1); y <= d.hi(1); y += step) {
+        const double est = model.evaluate(std::vector<index_t>{x, y}).median;
+        const double truth = f({x, y});
+        worst = std::max(worst, std::abs(est - truth) /
+                                    std::max(std::abs(truth), 1e-9));
+      }
+    }
+  }
+  return worst;
+}
+
+double smooth_quadratic(const std::vector<index_t>& p) {
+  const double x = static_cast<double>(p[0]);
+  return 1000.0 + 5.0 * x + 0.01 * x * x;
+}
+
+double jumpy_1d(const std::vector<index_t>& p) {
+  // Piecewise polynomial with a jump at 256 -- the structure the paper
+  // observes in Fig III.3 (intervals separated by jumps/kinks).
+  const double x = static_cast<double>(p[0]);
+  return (p[0] <= 256) ? (100.0 + x * x) : (5000.0 + 40.0 * x);
+}
+
+double smooth_2d(const std::vector<index_t>& p) {
+  const double m = static_cast<double>(p[0]);
+  const double n = static_cast<double>(p[1]);
+  return 500.0 + 2.0 * m * n + 3.0 * m + n;
+}
+
+RefinementConfig refine_cfg(double eps, index_t smin) {
+  RefinementConfig cfg;
+  cfg.base.error_bound = eps;
+  cfg.base.degree = 2;
+  cfg.min_region_size = smin;
+  return cfg;
+}
+
+ExpansionConfig expand_cfg(double eps, ExpansionConfig::Direction dir,
+                           index_t sini) {
+  ExpansionConfig cfg;
+  cfg.base.error_bound = eps;
+  cfg.base.degree = 2;
+  cfg.direction = dir;
+  cfg.initial_size = sini;
+  return cfg;
+}
+
+// ----------------------------------------------------------- refinement
+
+TEST(AdaptiveRefinement, SmoothFunctionNeedsOneRegion) {
+  const Region domain({8}, {1024});
+  const auto r = generate_adaptive_refinement(domain,
+                                              make_fn(smooth_quadratic),
+                                              refine_cfg(0.05, 32));
+  EXPECT_EQ(r.model.pieces().size(), 1u);
+  EXPECT_LT(max_model_error(r.model, 8, smooth_quadratic), 0.05);
+}
+
+TEST(AdaptiveRefinement, JumpForcesSplitsAndStaysAccurate) {
+  const Region domain({8}, {1024});
+  const auto r = generate_adaptive_refinement(domain, make_fn(jumpy_1d),
+                                              refine_cfg(0.05, 32));
+  EXPECT_GT(r.model.pieces().size(), 1u);
+  // Everywhere except within one min-size region of the jump, the model
+  // matches the truth within the bound.
+  const Region& d = r.model.domain();
+  for (index_t x = d.lo(0); x <= d.hi(0); x += 8) {
+    if (std::abs(static_cast<double>(x - 256)) <= 64.0) continue;
+    const double est = r.model.evaluate(std::vector<index_t>{x}).median;
+    const double truth = jumpy_1d({x});
+    EXPECT_LT(std::abs(est - truth) / truth, 0.08) << "x=" << x;
+  }
+}
+
+TEST(AdaptiveRefinement, TighterBoundUsesMoreSamples) {
+  const Region domain({8}, {1024});
+  const auto loose = generate_adaptive_refinement(domain, make_fn(jumpy_1d),
+                                                  refine_cfg(0.20, 32));
+  const auto tight = generate_adaptive_refinement(domain, make_fn(jumpy_1d),
+                                                  refine_cfg(0.02, 32));
+  EXPECT_GE(tight.unique_samples, loose.unique_samples);
+  EXPECT_GE(tight.model.pieces().size(), loose.model.pieces().size());
+  // Every region large enough to have been refinable meets the tight
+  // bound; only minimum-size regions (straddling the jump) may exceed it.
+  for (const auto& piece : tight.model.pieces()) {
+    if (piece.region.extent(0) >= 2 * 32) {
+      EXPECT_LE(piece.fit_error, 0.02) << piece.region.to_string();
+    }
+  }
+}
+
+TEST(AdaptiveRefinement, SmallerMinRegionReachesHigherAccuracy) {
+  const Region domain({8}, {1024});
+  const auto coarse = generate_adaptive_refinement(domain, make_fn(jumpy_1d),
+                                                   refine_cfg(0.01, 256));
+  const auto fine = generate_adaptive_refinement(domain, make_fn(jumpy_1d),
+                                                 refine_cfg(0.01, 32));
+  EXPECT_LE(fine.average_error, coarse.average_error + 1e-12);
+  EXPECT_GE(fine.model.pieces().size(), coarse.model.pieces().size());
+}
+
+TEST(AdaptiveRefinement, AcceptsInaccurateMinimumSizeRegions) {
+  // A function no polynomial can track (high-frequency oscillation):
+  // generation must terminate with all pieces at minimum size.
+  const auto osc = [](const std::vector<index_t>& p) {
+    return 1000.0 + 900.0 * std::sin(static_cast<double>(p[0]) * 0.7);
+  };
+  const Region domain({8}, {512});
+  const auto r = generate_adaptive_refinement(domain, make_fn(osc),
+                                              refine_cfg(0.01, 64));
+  EXPECT_GE(r.model.pieces().size(), 4u);
+  for (const auto& piece : r.model.pieces()) {
+    EXPECT_LE(piece.region.extent(0), 128);
+  }
+}
+
+TEST(AdaptiveRefinement, TwoDimensionalDomainCovered) {
+  const Region domain({8, 8}, {256, 256});
+  const auto r = generate_adaptive_refinement(domain, make_fn(smooth_2d),
+                                              refine_cfg(0.05, 32));
+  EXPECT_LT(max_model_error(r.model, 16, smooth_2d), 0.05);
+}
+
+TEST(AdaptiveRefinement, EventsRecordConstruction) {
+  const Region domain({8}, {1024});
+  const auto r = generate_adaptive_refinement(domain, make_fn(jumpy_1d),
+                                              refine_cfg(0.05, 32));
+  EXPECT_FALSE(r.events.empty());
+  bool saw_split = false;
+  bool saw_final = false;
+  for (const auto& e : r.events) {
+    if (e.kind == GenerationEvent::Kind::Split) saw_split = true;
+    if (e.kind == GenerationEvent::Kind::Finalized) saw_final = true;
+  }
+  EXPECT_TRUE(saw_split);
+  EXPECT_TRUE(saw_final);
+}
+
+TEST(AdaptiveRefinement, RejectsBadConfig) {
+  const Region domain({8}, {64});
+  RefinementConfig bad = refine_cfg(0.0, 32);
+  EXPECT_THROW(
+      generate_adaptive_refinement(domain, make_fn(smooth_quadratic), bad),
+      invalid_argument_error);
+  RefinementConfig bad2 = refine_cfg(0.1, 2);  // below granularity 8
+  EXPECT_THROW(
+      generate_adaptive_refinement(domain, make_fn(smooth_quadratic), bad2),
+      invalid_argument_error);
+}
+
+// ------------------------------------------------------------ expansion
+
+TEST(ModelExpansion, SmoothFunctionCoveredAccurately) {
+  const Region domain({8}, {1024});
+  for (const auto dir : {ExpansionConfig::Direction::AwayFromOrigin,
+                         ExpansionConfig::Direction::TowardOrigin}) {
+    const auto r = generate_model_expansion(domain,
+                                            make_fn(smooth_quadratic),
+                                            expand_cfg(0.05, dir, 64));
+    EXPECT_LT(max_model_error(r.model, 8, smooth_quadratic), 0.10);
+    EXPECT_GT(r.unique_samples, 0);
+  }
+}
+
+TEST(ModelExpansion, JumpConstrainsRegions) {
+  const Region domain({8}, {1024});
+  const auto r = generate_model_expansion(
+      domain, make_fn(jumpy_1d),
+      expand_cfg(0.05, ExpansionConfig::Direction::TowardOrigin, 64));
+  EXPECT_GT(r.model.pieces().size(), 1u);
+  // Away from the jump, accuracy holds.
+  for (index_t x = 8; x <= 1024; x += 8) {
+    if (std::abs(static_cast<double>(x - 256)) <= 96.0) continue;
+    const double est = r.model.evaluate(std::vector<index_t>{x}).median;
+    const double truth = jumpy_1d({x});
+    EXPECT_LT(std::abs(est - truth) / truth, 0.15) << "x=" << x;
+  }
+}
+
+TEST(ModelExpansion, TwoDimensionalCoverage) {
+  const Region domain({8, 8}, {256, 256});
+  const auto r = generate_model_expansion(
+      domain, make_fn(smooth_2d),
+      expand_cfg(0.05, ExpansionConfig::Direction::TowardOrigin, 64));
+  EXPECT_LT(max_model_error(r.model, 16, smooth_2d), 0.10);
+}
+
+TEST(ModelExpansion, EveryLatticePointIsCoveredBySomeRegion) {
+  const Region domain({8, 8}, {200, 200});
+  const auto r = generate_model_expansion(
+      domain, make_fn(smooth_2d),
+      expand_cfg(0.05, ExpansionConfig::Direction::AwayFromOrigin, 64));
+  for (index_t x = 8; x <= 200; x += 8) {
+    for (index_t y = 8; y <= 200; y += 8) {
+      bool covered = false;
+      for (const auto& piece : r.model.pieces()) {
+        if (piece.region.contains(std::vector<index_t>{x, y})) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(ModelExpansion, EventsIncludeGrowthAndFinalization) {
+  const Region domain({8}, {512});
+  const auto r = generate_model_expansion(
+      domain, make_fn(smooth_quadratic),
+      expand_cfg(0.05, ExpansionConfig::Direction::TowardOrigin, 64));
+  bool saw_new = false, saw_expand = false, saw_final = false;
+  for (const auto& e : r.events) {
+    if (e.kind == GenerationEvent::Kind::NewRegion) saw_new = true;
+    if (e.kind == GenerationEvent::Kind::Expanded) saw_expand = true;
+    if (e.kind == GenerationEvent::Kind::Finalized) saw_final = true;
+  }
+  EXPECT_TRUE(saw_new);
+  EXPECT_TRUE(saw_expand);
+  EXPECT_TRUE(saw_final);
+}
+
+TEST(ModelExpansion, RejectsBadConfig) {
+  const Region domain({8}, {64});
+  EXPECT_THROW(generate_model_expansion(
+                   domain, make_fn(smooth_quadratic),
+                   expand_cfg(-0.1, ExpansionConfig::Direction::TowardOrigin,
+                              64)),
+               invalid_argument_error);
+  ExpansionConfig tiny =
+      expand_cfg(0.1, ExpansionConfig::Direction::TowardOrigin, 2);
+  EXPECT_THROW(
+      generate_model_expansion(domain, make_fn(smooth_quadratic), tiny),
+      invalid_argument_error);
+}
+
+// --------------------------------------------------- strategy comparison
+
+TEST(StrategyComparison, BothStrategiesModelTheSameFunction) {
+  // The Fig III.8 setting in miniature: same target, both strategies
+  // produce usable models; refinement with small s_min reaches the
+  // highest accuracy.
+  const Region domain({8}, {1024});
+  const auto exp = generate_model_expansion(
+      domain, make_fn(jumpy_1d),
+      expand_cfg(0.05, ExpansionConfig::Direction::TowardOrigin, 64));
+  const auto ref_fine = generate_adaptive_refinement(
+      domain, make_fn(jumpy_1d), refine_cfg(0.05, 32));
+  EXPECT_GT(exp.unique_samples, 0);
+  EXPECT_GT(ref_fine.unique_samples, 0);
+  EXPECT_LT(ref_fine.average_error, 0.05);
+}
+
+}  // namespace
+}  // namespace dlap
