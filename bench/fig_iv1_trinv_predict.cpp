@@ -17,12 +17,10 @@ int main() {
   const Scales sc = current_scales();
   const std::string backend = system_a();
 
-  const ModelSet in_models =
-      trinv_model_set(backend, Locality::InCache, sc);
-  const ModelSet out_models =
-      trinv_model_set(backend, Locality::OutOfCache, sc);
-  const Predictor in_pred(in_models);
-  const Predictor out_pred(out_models);
+  const RepositoryBackedPredictor in_pred =
+      trinv_predictor(backend, Locality::InCache, sc);
+  const RepositoryBackedPredictor out_pred =
+      trinv_predictor(backend, Locality::OutOfCache, sc);
 
   print_comment("Fig IV.1: trinv predictions vs observations, backend " +
                 backend + ", blocksize " + std::to_string(sc.blocksize));

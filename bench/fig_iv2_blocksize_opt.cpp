@@ -15,8 +15,8 @@ int main() {
   const std::string backend = system_a();
   const index_t n = sc.trinv_fixed_n;
 
-  const ModelSet models = trinv_model_set(backend, Locality::InCache, sc);
-  const Predictor pred(models);
+  const RepositoryBackedPredictor pred =
+      trinv_predictor(backend, Locality::InCache, sc);
 
   print_comment("Fig IV.2: block-size optimization for trinv at n = " +
                 std::to_string(n) + ", backend " + backend);

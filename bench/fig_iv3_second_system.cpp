@@ -16,8 +16,8 @@ int main() {
   const Scales sc = current_scales();
   const std::string backend = system_b();
 
-  const ModelSet models = trinv_model_set(backend, Locality::InCache, sc);
-  const Predictor pred(models);
+  const RepositoryBackedPredictor pred =
+      trinv_predictor(backend, Locality::InCache, sc);
 
   print_comment("Fig IV.3: trinv on the second system (backend " + backend +
                 "), blocksize " + std::to_string(sc.blocksize));

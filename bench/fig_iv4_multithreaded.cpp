@@ -27,8 +27,8 @@ int main() {
   }
   const std::string backend = system_a() + "@" + std::to_string(threads);
 
-  const ModelSet models = trinv_model_set(backend, Locality::InCache, sc);
-  const Predictor pred(models);
+  const RepositoryBackedPredictor pred =
+      trinv_predictor(backend, Locality::InCache, sc);
 
   print_comment("Fig IV.4: trinv with multithreaded BLAS (" + backend +
                 ", hardware threads: " +

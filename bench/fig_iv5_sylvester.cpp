@@ -16,8 +16,8 @@ int main() {
   const std::string backend = system_a();
   const index_t b = sc.sylv_blocksize;
 
-  const ModelSet models = sylv_model_set(backend, Locality::InCache, sc);
-  const Predictor pred(models);
+  const RepositoryBackedPredictor pred =
+      sylv_predictor(backend, Locality::InCache, sc);
 
   print_comment("Fig IV.5: sylv, 16 variants, blocksize " +
                 std::to_string(b) + ", backend " + backend);

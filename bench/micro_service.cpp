@@ -1,0 +1,155 @@
+// micro_service -- batch model generation through the ModelService:
+// sequential pipeline vs concurrent fan-out over the generation pool.
+//
+// Model-generation wall clock is dominated by *measurement latency*: the
+// sampler waits on repeated timed kernel executions for every sampled
+// point. To benchmark the service's scheduling -- independently of how
+// many cores the host exposes and without timing noise -- the measurement
+// source is replaced by a deterministic cost surface with a fixed
+// per-point latency (ServiceConfig::measure_factory), exactly the hook
+// the service tests use. The speedup reported is therefore the pipeline
+// overlap the service achieves on latency-bound sampling.
+//
+// Also cross-checks the concurrency contract: every run must produce
+// bit-identical repository files.
+//
+// Output: one row per worker count: wall ms, speedup over the sequential
+// path, and the determinism check; exits nonzero when 4 workers fail to
+// reach the 1.5x acceptance threshold.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "service/model_service.hpp"
+#include "support/bench_util.hpp"
+
+namespace {
+
+using namespace dlap;
+namespace fs = std::filesystem;
+
+constexpr auto kPointLatency = std::chrono::microseconds(1000);
+
+MeasureFn latency_bound_measure(double offset) {
+  return [offset](const std::vector<index_t>& point) {
+    std::this_thread::sleep_for(kPointLatency);  // the "sampling" cost
+    double cost = 100.0 + offset;
+    for (index_t x : point) {
+      const double v = static_cast<double>(x);
+      cost += 2.0 * v + 0.03 * v * v;
+    }
+    SampleStats s;
+    s.min = cost * 0.95;
+    s.median = cost;
+    s.mean = cost * 1.01;
+    s.max = cost * 1.10;
+    s.stddev = cost * 0.02;
+    s.count = 5;
+    return s;
+  };
+}
+
+std::vector<ModelJob> benchmark_jobs() {
+  std::vector<ModelJob> jobs;
+  const Region d2({8, 8}, {256, 256});
+  const char flag_sets[8][4] = {{'L', 'L', 'N', 'N'}, {'L', 'L', 'T', 'N'},
+                                {'L', 'U', 'N', 'N'}, {'L', 'U', 'T', 'N'},
+                                {'R', 'L', 'N', 'N'}, {'R', 'L', 'T', 'N'},
+                                {'R', 'U', 'N', 'N'}, {'R', 'U', 'T', 'N'}};
+  for (const auto& f : flag_sets) {
+    ModelJob job;
+    job.backend = "blocked";
+    job.request.routine = RoutineId::Trsm;
+    job.request.flags.assign(f, f + 4);
+    job.request.domain = d2;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+ServiceConfig config_for(const fs::path& dir, index_t workers) {
+  ServiceConfig cfg;
+  cfg.repository_dir = dir;
+  cfg.workers = workers;
+  cfg.measure_factory = [](const ModelJob& job) {
+    double h = 0.0;
+    for (char c : ModelService::key_for(job).to_string()) {
+      h = 0.9 * h + static_cast<double>(c);
+    }
+    return latency_bound_measure(h);
+  };
+  return cfg;
+}
+
+std::map<std::string, std::string> repository_files(const fs::path& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ifstream in(entry.path());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    files[entry.path().filename().string()] = buf.str();
+  }
+  return files;
+}
+
+double run_ms(index_t workers, bool concurrent,
+              std::map<std::string, std::string>* files_out) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("dlap_micro_service_" + std::to_string(workers) +
+       (concurrent ? "p" : "s"));
+  fs::remove_all(dir);
+  ModelService service(config_for(dir, workers));
+  const std::vector<ModelJob> jobs = benchmark_jobs();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto models = concurrent ? service.generate_all(jobs)
+                                 : service.generate_all_sequential(jobs);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (models.size() != jobs.size()) std::abort();
+
+  *files_out = repository_files(dir);
+  fs::remove_all(dir);
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dlap::bench;
+
+  print_comment("micro_service: batch generation of 8 model keys, "
+                "latency-bound synthetic sampling (" +
+                std::to_string(kPointLatency.count()) + "us/point)");
+  print_header({"workers", "wall_ms", "speedup", "identical"});
+
+  std::map<std::string, std::string> baseline_files;
+  const double seq_ms = run_ms(1, /*concurrent=*/false, &baseline_files);
+  print_row(0, {seq_ms, 1.0, 1.0});  // workers=0 row: the sequential path
+
+  bool deterministic = true;
+  double speedup_at_4 = 0.0;
+  for (dlap::index_t workers : {1, 2, 4, 8}) {
+    std::map<std::string, std::string> files;
+    const double ms = run_ms(workers, /*concurrent=*/true, &files);
+    const bool identical = files == baseline_files;
+    deterministic = deterministic && identical;
+    const double speedup = seq_ms / ms;
+    if (workers == 4) speedup_at_4 = speedup;
+    print_row(static_cast<double>(workers),
+              {ms, speedup, identical ? 1.0 : 0.0});
+  }
+
+  print_comment(deterministic
+                    ? "all runs produced bit-identical repository files"
+                    : "DETERMINISM VIOLATION: repository files differ");
+  const bool pass = deterministic && speedup_at_4 > 1.5;
+  print_comment("speedup at 4 workers: " + std::to_string(speedup_at_4) +
+                (pass ? " (PASS, > 1.5x)" : " (FAIL, need > 1.5x)"));
+  return pass ? 0 : 1;
+}

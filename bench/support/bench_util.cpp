@@ -69,48 +69,16 @@ RefinementConfig paper_refinement_config() {
   return cfg;
 }
 
-namespace {
-
-ModelRepository& model_repo() {
-  static ModelRepository repo(
-      env_string("DLAPERF_MODEL_DIR", "dlaperf_models"));
-  return repo;
-}
-
-bool domain_covers(const Region& have, const Region& want) {
-  if (have.dims() != want.dims()) return false;
-  for (int d = 0; d < have.dims(); ++d) {
-    if (have.lo(d) > want.lo(d) || have.hi(d) < want.hi(d)) return false;
-  }
-  return true;
-}
-
-}  // namespace
-
-RoutineModel get_or_build_model(const ModelingRequest& request,
-                                const std::string& backend) {
-  ModelKey key;
-  key.routine = routine_name(request.routine);
-  key.backend = backend;
-  key.locality = request.sampler.locality;
-  key.flags.assign(request.flags.begin(), request.flags.end());
-
-  ModelRepository& repo = model_repo();
-  if (repo.contains(key)) {
-    RoutineModel cached = repo.load(key);
-    if (domain_covers(cached.model.domain(), request.domain)) return cached;
-  }
-  std::fprintf(stderr, "[dlaperf] generating model %s ...\n",
-               key.to_string().c_str());
-  Modeler modeler(backend_instance(backend));
-  RoutineModel fresh =
-      modeler.build_refinement(request, paper_refinement_config());
-  repo.store(fresh);
-  std::fprintf(stderr, "[dlaperf]   %zu regions, %lld samples, avg err %.2f%%\n",
-               fresh.model.pieces().size(),
-               static_cast<long long>(fresh.unique_samples),
-               100.0 * fresh.average_error);
-  return fresh;
+ModelService& shared_service() {
+  static ModelService service([] {
+    ServiceConfig cfg;
+    cfg.repository_dir = env_string("DLAPERF_MODEL_DIR", "dlaperf_models");
+    cfg.workers = env_int("DLAPERF_WORKERS", 0);
+    cfg.refinement = paper_refinement_config();
+    cfg.verbose = true;
+    return cfg;
+  }());
+  return service;
 }
 
 namespace {
@@ -128,10 +96,30 @@ ModelingRequest base_request(RoutineId routine, std::vector<char> flags,
   return req;
 }
 
+ModelJob make_job(const std::string& backend, ModelingRequest request) {
+  ModelJob job;
+  job.request = std::move(request);
+  job.backend = backend;
+  return job;
+}
+
+// Generates all jobs through the shared service as one concurrent batch
+// and wraps them in a repository-backed predictor, each job registered as
+// an on-demand plan (a wiped repository regenerates lazily).
+RepositoryBackedPredictor family_predictor(const std::string& backend,
+                                           Locality locality,
+                                           std::vector<ModelJob> jobs) {
+  ModelService& service = shared_service();
+  (void)service.generate_all(jobs);
+  RepositoryBackedPredictor pred(service, backend, locality);
+  for (ModelJob& job : jobs) pred.plan(std::move(job.request));
+  return pred;
+}
+
 }  // namespace
 
-ModelSet trinv_model_set(const std::string& backend, Locality locality,
-                         const Scales& sc) {
+std::vector<ModelJob> trinv_jobs(const std::string& backend,
+                                 Locality locality, const Scales& sc) {
   // Out-of-cache measurements fluctuate more; extra repetitions keep the
   // median stable so refinement does not chase noise.
   const index_t reps = sc.reps + (locality == Locality::OutOfCache ? 2 : 0);
@@ -139,39 +127,31 @@ ModelSet trinv_model_set(const std::string& backend, Locality locality,
   const Region d2({8, 8}, {sc.model_max_2d, sc.model_max_2d});
   const Region d3({8, 8, 8},
                   {sc.model_max_3d, sc.model_max_3d, sc.model_max_3d});
-  ModelSet set;
-  set.add(get_or_build_model(
-      base_request(RoutineId::Trmm, {'R', 'L', 'N', 'N'}, d2, locality,
-                   reps),
-      backend));
-  set.add(get_or_build_model(
-      base_request(RoutineId::Trsm, {'L', 'L', 'N', 'N'}, d2, locality,
-                   reps),
-      backend));
-  set.add(get_or_build_model(
-      base_request(RoutineId::Trsm, {'R', 'L', 'N', 'N'}, d2, locality,
-                   reps),
-      backend));
-  set.add(get_or_build_model(
-      base_request(RoutineId::Gemm, {'N', 'N'}, d3, locality, reps),
-      backend));
-  set.add(get_or_build_model(
-      base_request(RoutineId::Trinv1Unb, {}, d1, locality, reps),
-      backend));
-  set.add(get_or_build_model(
-      base_request(RoutineId::Trinv2Unb, {}, d1, locality, reps),
-      backend));
-  set.add(get_or_build_model(
-      base_request(RoutineId::Trinv3Unb, {}, d1, locality, reps),
-      backend));
-  set.add(get_or_build_model(
-      base_request(RoutineId::Trinv4Unb, {}, d1, locality, reps),
-      backend));
-  return set;
+  std::vector<ModelJob> jobs;
+  jobs.push_back(make_job(backend, base_request(RoutineId::Trmm,
+                                                {'R', 'L', 'N', 'N'}, d2,
+                                                locality, reps)));
+  jobs.push_back(make_job(backend, base_request(RoutineId::Trsm,
+                                                {'L', 'L', 'N', 'N'}, d2,
+                                                locality, reps)));
+  jobs.push_back(make_job(backend, base_request(RoutineId::Trsm,
+                                                {'R', 'L', 'N', 'N'}, d2,
+                                                locality, reps)));
+  jobs.push_back(make_job(backend, base_request(RoutineId::Gemm, {'N', 'N'},
+                                                d3, locality, reps)));
+  jobs.push_back(make_job(backend, base_request(RoutineId::Trinv1Unb, {},
+                                                d1, locality, reps)));
+  jobs.push_back(make_job(backend, base_request(RoutineId::Trinv2Unb, {},
+                                                d1, locality, reps)));
+  jobs.push_back(make_job(backend, base_request(RoutineId::Trinv3Unb, {},
+                                                d1, locality, reps)));
+  jobs.push_back(make_job(backend, base_request(RoutineId::Trinv4Unb, {},
+                                                d1, locality, reps)));
+  return jobs;
 }
 
-ModelSet sylv_model_set(const std::string& backend, Locality locality,
-                        const Scales& sc) {
+std::vector<ModelJob> sylv_jobs(const std::string& backend,
+                                Locality locality, const Scales& sc) {
   const index_t reps = sc.reps + (locality == Locality::OutOfCache ? 2 : 0);
   const Region d2({8, 8}, {sc.model_max_unb, sc.model_max_unb});
   // Pull-style schedules accumulate gemms whose k grows to the full sweep
@@ -179,14 +159,26 @@ ModelSet sylv_model_set(const std::string& backend, Locality locality,
   // one.
   const index_t g3 = std::max(sc.model_max_3d, sc.sylv_max);
   const Region d3({8, 8, 8}, {g3, g3, g3});
-  ModelSet set;
-  set.add(get_or_build_model(
-      base_request(RoutineId::Gemm, {'N', 'N'}, d3, locality, reps),
-      backend));
-  set.add(get_or_build_model(
-      base_request(RoutineId::SylvUnb, {}, d2, locality, reps),
-      backend));
-  return set;
+  std::vector<ModelJob> jobs;
+  jobs.push_back(make_job(backend, base_request(RoutineId::Gemm, {'N', 'N'},
+                                                d3, locality, reps)));
+  jobs.push_back(make_job(backend, base_request(RoutineId::SylvUnb, {}, d2,
+                                                locality, reps)));
+  return jobs;
+}
+
+RepositoryBackedPredictor trinv_predictor(const std::string& backend,
+                                          Locality locality,
+                                          const Scales& scales) {
+  return family_predictor(backend, locality,
+                          trinv_jobs(backend, locality, scales));
+}
+
+RepositoryBackedPredictor sylv_predictor(const std::string& backend,
+                                         Locality locality,
+                                         const Scales& scales) {
+  return family_predictor(backend, locality,
+                          sylv_jobs(backend, locality, scales));
 }
 
 double measure_trinv_ticks(const std::string& backend, int variant,

@@ -6,9 +6,12 @@
 // output can be fed straight to gnuplot/pandas. Two scales are supported:
 //   - default: CI-friendly domains (minutes for the whole suite),
 //   - DLAPERF_PAPER_SCALE=1: the paper's exact domains.
-// Generated models are cached in a on-disk repository (DLAPERF_MODEL_DIR,
-// default ./dlaperf_models) keyed by routine/backend/locality/flags, so
-// the model-hungry benches share one generation pass.
+// Model generation goes through one process-wide ModelService: generated
+// models land in an on-disk repository (DLAPERF_MODEL_DIR, default
+// ./dlaperf_models) keyed by routine/backend/locality/flags, so the
+// model-hungry benches share one generation pass; a batch of missing
+// models is generated concurrently (DLAPERF_WORKERS, default hardware
+// concurrency).
 
 #include <string>
 #include <vector>
@@ -23,6 +26,8 @@
 #include "predict/trace.hpp"
 #include "sampler/machine.hpp"
 #include "sampler/sampler.hpp"
+#include "service/model_service.hpp"
+#include "service/repository_predictor.hpp"
 
 namespace dlap::bench {
 
@@ -63,27 +68,35 @@ void print_header(const std::vector<std::string>& columns);
 void print_row(const std::vector<double>& values);
 void print_row(double x, const std::vector<double>& values);
 
-// ------------------------------------------------- model-set management
+// ------------------------------------------------- model-service access
 
 /// The Adaptive Refinement configuration the paper selects in III-D3
 /// (error bound 10%, minimum region size 32).
 [[nodiscard]] RefinementConfig paper_refinement_config();
 
-/// Loads (or generates and stores) one model; the cached copy is reused
-/// only when its domain covers `domain`.
-[[nodiscard]] RoutineModel get_or_build_model(const ModelingRequest& request,
-                                              const std::string& backend);
+/// The process-wide model service every bench shares: repository at
+/// DLAPERF_MODEL_DIR, DLAPERF_WORKERS generation workers, the paper's
+/// refinement configuration.
+[[nodiscard]] ModelService& shared_service();
 
-/// Builds the model set needed to predict all four trinv variants:
+/// Modeling jobs for the kernels behind all four trinv variants:
 /// dtrmm(RLNN), dtrsm(LLNN), dtrsm(RLNN), dgemm(NN), trinv{1-4}_unb.
-[[nodiscard]] ModelSet trinv_model_set(const std::string& backend,
-                                       Locality locality,
-                                       const Scales& scales);
+[[nodiscard]] std::vector<ModelJob> trinv_jobs(const std::string& backend,
+                                               Locality locality,
+                                               const Scales& scales);
 
-/// Builds the model set for the sylv variants: dgemm(NN) and sylv_unb.
-[[nodiscard]] ModelSet sylv_model_set(const std::string& backend,
-                                      Locality locality,
-                                      const Scales& scales);
+/// Modeling jobs for the sylv variants: dgemm(NN) and sylv_unb.
+[[nodiscard]] std::vector<ModelJob> sylv_jobs(const std::string& backend,
+                                              Locality locality,
+                                              const Scales& scales);
+
+/// Repository-backed predictor for the trinv (resp. sylv) variants, with
+/// the family's models generated up front as one concurrent batch and
+/// registered as on-demand plans.
+[[nodiscard]] RepositoryBackedPredictor trinv_predictor(
+    const std::string& backend, Locality locality, const Scales& scales);
+[[nodiscard]] RepositoryBackedPredictor sylv_predictor(
+    const std::string& backend, Locality locality, const Scales& scales);
 
 // ----------------------------------------------------- direct execution
 

@@ -1,19 +1,23 @@
 // Quickstart: the 60-second tour of dlaperf.
 //
 //  1. measure a BLAS call with the Sampler,
-//  2. generate a performance model with the Modeler,
-//  3. store and reload it through the repository,
-//  4. evaluate the model at an unseen point and compare to a measurement.
+//  2. generate performance models through the ModelService (the whole
+//     sampler -> modeler -> repository pipeline as one engine; batches
+//     are generated concurrently),
+//  3. predict through the RepositoryBackedPredictor, which loads models
+//     lazily from the repository,
+//  4. compare a prediction at an unseen point to a fresh measurement.
 //
 // Build & run:  ./build/examples/quickstart
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 
 #include "blas/registry.hpp"
-#include "modeler/modeler.hpp"
-#include "modeler/repository.hpp"
 #include "sampler/sampler.hpp"
+#include "service/model_service.hpp"
+#include "service/repository_predictor.hpp"
 
 int main() {
   using namespace dlap;
@@ -33,37 +37,46 @@ int main() {
               "stddev %.0f\n",
               stats.min, stats.median, stats.mean, stats.max, stats.stddev);
 
-  // --- 2. Generate a model over the (m, n) parameter space -------------
-  ModelingRequest req;
-  req.routine = RoutineId::Trsm;
-  req.flags = {'L', 'L', 'N', 'N'};
-  req.domain = Region({8, 8}, {192, 192});
-  req.fixed_ld = 256;
-  req.sampler = scfg;
+  // --- 2. Generate models as one service batch -------------------------
+  ServiceConfig cfg;
+  cfg.repository_dir =
+      std::filesystem::temp_directory_path() / "dlaperf_quickstart";
+  cfg.refinement.base.error_bound = 0.10;  // the paper's epsilon (III-D3)
+  cfg.refinement.min_region_size = 32;     // s_min
+  ModelService service(cfg);
 
-  RefinementConfig rcfg;          // the paper's chosen strategy (III-D3)
-  rcfg.base.error_bound = 0.10;   // epsilon = 10%
-  rcfg.min_region_size = 32;      // s_min = 32
-  rcfg.base.degree = 3;
+  ModelJob trsm;
+  trsm.backend = "blocked";
+  trsm.request.routine = RoutineId::Trsm;
+  trsm.request.flags = {'L', 'L', 'N', 'N'};
+  trsm.request.domain = Region({8, 8}, {192, 192});
+  trsm.request.fixed_ld = 256;
+  trsm.request.sampler = scfg;
 
-  Modeler modeler(backend);
-  const RoutineModel model = modeler.build_refinement(req, rcfg);
-  std::printf("\ngenerated model %s: %zu regions from %lld samples "
-              "(avg error %.1f%%)\n",
-              model.key.to_string().c_str(), model.model.pieces().size(),
-              static_cast<long long>(model.unique_samples),
-              100.0 * model.average_error);
+  ModelJob trmm = trsm;  // model a second kernel in the same batch
+  trmm.request.routine = RoutineId::Trmm;
+  trmm.request.flags = {'R', 'L', 'N', 'N'};
 
-  // --- 3. Store and reload --------------------------------------------
-  ModelRepository repo(std::filesystem::temp_directory_path() /
-                       "dlaperf_quickstart");
-  repo.store(model);
-  const RoutineModel loaded = repo.load(model.key);
-  std::printf("round-tripped through %s\n", repo.directory().c_str());
+  const auto models = service.generate_all({trsm, trmm});
+  for (const auto& m : models) {
+    std::printf("generated %s: %zu regions from %lld samples "
+                "(avg error %.1f%%)\n",
+                m->key.to_string().c_str(), m->model.pieces().size(),
+                static_cast<long long>(m->unique_samples),
+                100.0 * m->average_error);
+  }
+  std::printf("repository: %s\n",
+              service.repository().directory().c_str());
 
-  // --- 4. Predict an unseen point and check against reality ------------
-  const std::vector<index_t> point{144, 112};
-  const SampleStats predicted = loaded.model.evaluate(point);
+  // --- 3. Predict through the repository-backed predictor --------------
+  // No pre-assembled ModelSet: the predictor pulls models from the
+  // repository by key on first use.
+  RepositoryBackedPredictor pred(service, "blocked", Locality::InCache);
+  const KernelCall unseen =
+      parse_call("dtrsm(L,L,N,N,144,112,1,A,256,B,256)");
+  const SampleStats predicted = pred.predict_call(unseen);
+
+  // --- 4. ... and check against reality --------------------------------
   const SampleStats observed =
       sampler.measure_text("dtrsm(L,L,N,N,144,112,1,A,256,B,256)");
   std::printf("\nat m=144, n=112: predicted median %.0f ticks, "

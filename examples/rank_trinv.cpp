@@ -14,31 +14,26 @@
 #include "blas/registry.hpp"
 #include "common/matrix_util.hpp"
 #include "common/rng.hpp"
-#include "modeler/modeler.hpp"
-#include "predict/predictor.hpp"
 #include "predict/ranking.hpp"
 #include "predict/trace.hpp"
 #include "sampler/machine.hpp"
 #include "sampler/ticks.hpp"
+#include "service/model_service.hpp"
+#include "service/repository_predictor.hpp"
 
 namespace {
 
 using namespace dlap;
 
-RoutineModel build(Modeler& modeler, RoutineId routine,
-                   std::vector<char> flags, Region domain) {
-  ModelingRequest req;
-  req.routine = routine;
-  req.flags = std::move(flags);
-  req.domain = std::move(domain);
-  req.fixed_ld = 512;
-  req.sampler.reps = 3;
-  RefinementConfig cfg;
-  cfg.base.error_bound = 0.10;
-  cfg.base.degree = 3;
-  cfg.min_region_size = 32;
-  std::printf("  modeling %s ...\n", routine_name(routine));
-  return modeler.build_refinement(req, cfg);
+ModelJob job_for(RoutineId routine, std::vector<char> flags, Region domain) {
+  ModelJob job;
+  job.backend = "blocked";
+  job.request.routine = routine;
+  job.request.flags = std::move(flags);
+  job.request.domain = std::move(domain);
+  job.request.fixed_ld = 512;
+  job.request.sampler.reps = 3;
+  return job;
 }
 
 double run_trinv(Level3Backend& backend, int variant, index_t n,
@@ -63,24 +58,31 @@ int main(int argc, char** argv) {
   const index_t n = (argc > 1) ? std::atoll(argv[1]) : 320;
   const index_t b = (argc > 2) ? std::atoll(argv[2]) : 64;
   Level3Backend& backend = backend_instance("blocked");
-  Modeler modeler(backend);
 
-  std::printf("generating kernel models (backend %s):\n",
-              backend.name().c_str());
+  ServiceConfig cfg;
+  cfg.repository_dir =
+      std::filesystem::temp_directory_path() / "dlaperf_rank_trinv";
+  cfg.verbose = true;
+  ModelService service(cfg);
+
+  std::printf("generating kernel models (backend blocked, "
+              "%lld workers):\n",
+              static_cast<long long>(service.pool().worker_count()));
   const Region d1({8}, {256});
   const Region d2({8, 8}, {n, n});
   const Region d3({8, 8, 8}, {n, n, n});
-  ModelSet models;
-  models.add(build(modeler, RoutineId::Trmm, {'R', 'L', 'N', 'N'}, d2));
-  models.add(build(modeler, RoutineId::Trsm, {'L', 'L', 'N', 'N'}, d2));
-  models.add(build(modeler, RoutineId::Trsm, {'R', 'L', 'N', 'N'}, d2));
-  models.add(build(modeler, RoutineId::Gemm, {'N', 'N'}, d3));
-  models.add(build(modeler, RoutineId::Trinv1Unb, {}, d1));
-  models.add(build(modeler, RoutineId::Trinv2Unb, {}, d1));
-  models.add(build(modeler, RoutineId::Trinv3Unb, {}, d1));
-  models.add(build(modeler, RoutineId::Trinv4Unb, {}, d1));
+  (void)service.generate_all(
+      {job_for(RoutineId::Trmm, {'R', 'L', 'N', 'N'}, d2),
+       job_for(RoutineId::Trsm, {'L', 'L', 'N', 'N'}, d2),
+       job_for(RoutineId::Trsm, {'R', 'L', 'N', 'N'}, d2),
+       job_for(RoutineId::Gemm, {'N', 'N'}, d3),
+       job_for(RoutineId::Trinv1Unb, {}, d1),
+       job_for(RoutineId::Trinv2Unb, {}, d1),
+       job_for(RoutineId::Trinv3Unb, {}, d1),
+       job_for(RoutineId::Trinv4Unb, {}, d1)});
 
-  const Predictor pred(models);
+  const RepositoryBackedPredictor pred(service, "blocked",
+                                       Locality::InCache);
   std::printf("\npredicting trinv variants at n=%lld, b=%lld "
               "(no execution involved):\n",
               static_cast<long long>(n), static_cast<long long>(b));

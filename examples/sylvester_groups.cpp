@@ -14,29 +14,27 @@
 #include "blas/registry.hpp"
 #include "common/matrix_util.hpp"
 #include "common/rng.hpp"
-#include "modeler/modeler.hpp"
-#include "predict/predictor.hpp"
 #include "predict/ranking.hpp"
 #include "predict/trace.hpp"
 #include "sampler/ticks.hpp"
+#include "service/model_service.hpp"
+#include "service/repository_predictor.hpp"
 
 namespace {
 
 using namespace dlap;
 
-RoutineModel build(Modeler& modeler, RoutineId routine, Region domain) {
-  ModelingRequest req;
-  req.routine = routine;
-  req.flags = (routine == RoutineId::Gemm) ? std::vector<char>{'N', 'N'}
-                                           : std::vector<char>{};
-  req.domain = std::move(domain);
-  req.fixed_ld = 512;
-  req.sampler.reps = 3;
-  RefinementConfig cfg;
-  cfg.base.error_bound = 0.10;
-  cfg.base.degree = 3;
-  cfg.min_region_size = 32;
-  return modeler.build_refinement(req, cfg);
+ModelJob job_for(RoutineId routine, Region domain) {
+  ModelJob job;
+  job.backend = "blocked";
+  job.request.routine = routine;
+  job.request.flags = (routine == RoutineId::Gemm)
+                          ? std::vector<char>{'N', 'N'}
+                          : std::vector<char>{};
+  job.request.domain = std::move(domain);
+  job.request.fixed_ld = 512;
+  job.request.sampler.reps = 3;
+  return job;
 }
 
 std::string group_to_string(const std::vector<index_t>& group) {
@@ -51,15 +49,19 @@ int main(int argc, char** argv) {
   const index_t n = (argc > 1) ? std::atoll(argv[1]) : 240;
   const index_t b = (argc > 2) ? std::atoll(argv[2]) : 48;
   Level3Backend& backend = backend_instance("blocked");
-  Modeler modeler(backend);
 
-  std::printf("modeling dgemm and the unblocked Sylvester solver...\n");
-  ModelSet models;
-  models.add(build(modeler, RoutineId::Gemm,
-                   Region({8, 8, 8}, {n, n, n})));
-  models.add(build(modeler, RoutineId::SylvUnb,
-                   Region({8, 8}, {2 * b, 2 * b})));
-  const Predictor pred(models);
+  ServiceConfig cfg;
+  cfg.repository_dir =
+      std::filesystem::temp_directory_path() / "dlaperf_sylvester_groups";
+  ModelService service(cfg);
+
+  std::printf("modeling dgemm and the unblocked Sylvester solver "
+              "(one concurrent batch)...\n");
+  (void)service.generate_all(
+      {job_for(RoutineId::Gemm, Region({8, 8, 8}, {n, n, n})),
+       job_for(RoutineId::SylvUnb, Region({8, 8}, {2 * b, 2 * b}))});
+  const RepositoryBackedPredictor pred(service, "blocked",
+                                       Locality::InCache);
 
   std::printf("\npredictions for the 16 variants (n=%lld, b=%lld):\n",
               static_cast<long long>(n), static_cast<long long>(b));

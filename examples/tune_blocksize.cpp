@@ -13,29 +13,25 @@
 #include "blas/registry.hpp"
 #include "common/matrix_util.hpp"
 #include "common/rng.hpp"
-#include "modeler/modeler.hpp"
-#include "predict/predictor.hpp"
 #include "predict/ranking.hpp"
 #include "predict/trace.hpp"
 #include "sampler/ticks.hpp"
+#include "service/model_service.hpp"
+#include "service/repository_predictor.hpp"
 
 namespace {
 
 using namespace dlap;
 
-RoutineModel build(Modeler& modeler, RoutineId routine,
-                   std::vector<char> flags, Region domain) {
-  ModelingRequest req;
-  req.routine = routine;
-  req.flags = std::move(flags);
-  req.domain = std::move(domain);
-  req.fixed_ld = 512;
-  req.sampler.reps = 3;
-  RefinementConfig cfg;
-  cfg.base.error_bound = 0.10;
-  cfg.base.degree = 3;
-  cfg.min_region_size = 32;
-  return modeler.build_refinement(req, cfg);
+ModelJob job_for(RoutineId routine, std::vector<char> flags, Region domain) {
+  ModelJob job;
+  job.backend = "blocked";
+  job.request.routine = routine;
+  job.request.flags = std::move(flags);
+  job.request.domain = std::move(domain);
+  job.request.fixed_ld = 512;
+  job.request.sampler.reps = 3;
+  return job;
 }
 
 }  // namespace
@@ -43,24 +39,31 @@ RoutineModel build(Modeler& modeler, RoutineId routine,
 int main(int argc, char** argv) {
   const int variant = (argc > 1) ? std::atoi(argv[1]) : 3;
   const index_t n = (argc > 2) ? std::atoll(argv[2]) : 320;
-  Level3Backend& backend = backend_instance("blocked");
-  Modeler modeler(backend);
 
-  std::printf("modeling kernels for trinv variant %d (backend %s)...\n",
-              variant, backend.name().c_str());
-  ModelSet models;
+  ServiceConfig cfg;
+  cfg.repository_dir =
+      std::filesystem::temp_directory_path() / "dlaperf_tune_blocksize";
+  ModelService service(cfg);
+
+  std::printf("modeling kernels for trinv variant %d (backend %s), "
+              "%lld generation workers...\n",
+              variant, "blocked",
+              static_cast<long long>(service.pool().worker_count()));
   const Region d1({8}, {256});
   const Region d2({8, 8}, {n, n});
   const Region d3({8, 8, 8}, {n, n, n});
-  models.add(build(modeler, RoutineId::Trmm, {'R', 'L', 'N', 'N'}, d2));
-  models.add(build(modeler, RoutineId::Trsm, {'L', 'L', 'N', 'N'}, d2));
-  models.add(build(modeler, RoutineId::Trsm, {'R', 'L', 'N', 'N'}, d2));
-  models.add(build(modeler, RoutineId::Gemm, {'N', 'N'}, d3));
-  models.add(build(modeler, static_cast<RoutineId>(
-                                static_cast<int>(RoutineId::Trinv1Unb) +
-                                variant - 1),
-                   {}, d1));
-  const Predictor pred(models);
+  const std::vector<ModelJob> jobs{
+      job_for(RoutineId::Trmm, {'R', 'L', 'N', 'N'}, d2),
+      job_for(RoutineId::Trsm, {'L', 'L', 'N', 'N'}, d2),
+      job_for(RoutineId::Trsm, {'R', 'L', 'N', 'N'}, d2),
+      job_for(RoutineId::Gemm, {'N', 'N'}, d3),
+      job_for(static_cast<RoutineId>(
+                  static_cast<int>(RoutineId::Trinv1Unb) + variant - 1),
+              {}, d1)};
+  (void)service.generate_all(jobs);  // one concurrent batch
+
+  const RepositoryBackedPredictor pred(service, "blocked",
+                                       Locality::InCache);
 
   std::printf("\npredicted ticks per block size (n=%lld):\n",
               static_cast<long long>(n));
@@ -77,7 +80,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(best_pred));
 
   std::printf("\nverifying by execution:\n");
-  ExecContext ctx(backend);
+  ExecContext ctx(backend_instance("blocked"));
   Rng rng(11);
   Matrix l(n, n);
   fill_lower_triangular(l.view(), rng);

@@ -6,8 +6,11 @@
 
 namespace dlap {
 
-// Per-parallel_for completion state shared between the caller and workers.
-struct Sync {
+namespace {
+
+// Completion state shared between the caller of a bulk operation and the
+// workers executing its pieces.
+struct BulkSync {
   std::mutex m;
   std::condition_variable done_cv;
   index_t pending = 0;
@@ -18,7 +21,14 @@ struct Sync {
     if (e && !error) error = e;
     if (--pending == 0) done_cv.notify_all();
   }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(m);
+    done_cv.wait(lock, [this] { return pending == 0; });
+  }
 };
+
+}  // namespace
 
 ThreadPool::ThreadPool(index_t workers) {
   index_t n = workers;
@@ -41,23 +51,25 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(job));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    Task task;
+    std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
-      task = queue_.front();
+      job = std::move(queue_.front());
       queue_.pop();
     }
-    std::exception_ptr error;
-    try {
-      (*task.fn)(task.begin, task.end);
-    } catch (...) {
-      error = std::current_exception();
-    }
-    task.sync->finish_one(error);
+    job();
   }
 }
 
@@ -73,17 +85,27 @@ void ThreadPool::parallel_for(
   const index_t base = total / nchunks;
   const index_t extra = total % nchunks;
 
-  Sync sync;
+  BulkSync sync;
   sync.pending = nchunks - 1;  // chunks handed to the pool
 
   index_t cursor = begin;
   // Enqueue all but the last chunk; the caller runs the last one itself so
-  // a pool of size zero (or a busy pool) can never deadlock.
+  // a busy pool can never deadlock the call.
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (index_t c = 0; c + 1 < nchunks; ++c) {
       const index_t len = base + (c < extra ? 1 : 0);
-      queue_.push(Task{cursor, cursor + len, &fn, &sync});
+      const index_t b = cursor;
+      const index_t e = cursor + len;
+      queue_.push([&fn, b, e, &sync] {
+        std::exception_ptr error;
+        try {
+          fn(b, e);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        sync.finish_one(error);
+      });
       cursor += len;
     }
   }
@@ -96,10 +118,54 @@ void ThreadPool::parallel_for(
     my_error = std::current_exception();
   }
 
-  if (nchunks > 1) {
-    std::unique_lock<std::mutex> lock(sync.m);
-    sync.done_cv.wait(lock, [&sync] { return sync.pending == 0; });
+  if (nchunks > 1) sync.wait();
+  if (my_error) std::rethrow_exception(my_error);
+  if (sync.error) std::rethrow_exception(sync.error);
+}
+
+void ThreadPool::parallel_for_each(index_t count,
+                                   const std::function<void(index_t)>& fn) {
+  DLAP_REQUIRE(count >= 0, "negative item count");
+  if (count == 0) return;
+
+  // Dynamic self-scheduling: each drainer (pool workers plus the caller)
+  // repeatedly claims the next unclaimed index until none remain.
+  auto next = std::make_shared<std::atomic<index_t>>(0);
+  auto drain = [next, count, &fn] {
+    for (;;) {
+      const index_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+
+  const index_t helpers = std::min<index_t>(worker_count(), count - 1);
+  BulkSync sync;
+  sync.pending = helpers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (index_t h = 0; h < helpers; ++h) {
+      queue_.push([drain, &sync] {
+        std::exception_ptr error;
+        try {
+          drain();
+        } catch (...) {
+          error = std::current_exception();
+        }
+        sync.finish_one(error);
+      });
+    }
   }
+  cv_.notify_all();
+
+  std::exception_ptr my_error;
+  try {
+    drain();
+  } catch (...) {
+    my_error = std::current_exception();
+  }
+
+  if (helpers > 0) sync.wait();
   if (my_error) std::rethrow_exception(my_error);
   if (sync.error) std::rethrow_exception(sync.error);
 }

@@ -12,11 +12,11 @@ double relative_error(double estimate, double observed) {
   return std::abs(estimate - observed) / den;
 }
 
-FitResult fit_polynomial(const Region& region,
-                         const std::vector<SamplePoint>& samples,
-                         int degree) {
-  DLAP_REQUIRE(!samples.empty(), "fit: no samples");
-  DLAP_REQUIRE(degree >= 0, "fit: negative degree");
+namespace {
+
+FitResult fit_polynomial_once(const Region& region,
+                              const std::vector<SamplePoint>& samples,
+                              int degree) {
   const int dims = region.dims();
 
   // Normalize inputs to roughly [-1, 1] over the region.
@@ -72,6 +72,42 @@ FitResult fit_polynomial(const Region& region,
   out.erelmax = maxerr;
   out.mean_rel_error = sumerr / static_cast<double>(npts);
   return out;
+}
+
+// True when the fitted median is zero or negative at a sample whose
+// observed median is positive -- a nonsense prediction for a runtime.
+bool median_fit_degenerate(const FitResult& fit,
+                           const std::vector<SamplePoint>& samples) {
+  std::vector<double> xr;
+  for (const SamplePoint& sp : samples) {
+    if (sp.stats.median <= 0.0) continue;
+    xr.assign(sp.x.begin(), sp.x.end());
+    if (fit.poly.evaluate_stat(Stat::Median, xr) <= 0.0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FitResult fit_polynomial(const Region& region,
+                         const std::vector<SamplePoint>& samples,
+                         int degree) {
+  DLAP_REQUIRE(!samples.empty(), "fit: no samples");
+  DLAP_REQUIRE(degree >= 0, "fit: negative degree");
+
+  // High-degree fits of noisy measurements can swing below zero inside
+  // the region even though every observation is positive; a model would
+  // then predict zero ticks for real work. Fall back to lower degrees
+  // until the median fit is positive at every (positive) sample -- the
+  // degree-0 fit, the mean of positive medians, always is. The reported
+  // erelmax of a fallback fit is typically above the strategies' error
+  // bound, so inaccurate regions still get split or rejected as usual.
+  FitResult fit = fit_polynomial_once(region, samples, degree);
+  for (int d = degree - 1; d >= 0 && median_fit_degenerate(fit, samples);
+       --d) {
+    fit = fit_polynomial_once(region, samples, d);
+  }
+  return fit;
 }
 
 }  // namespace dlap

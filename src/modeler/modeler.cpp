@@ -19,6 +19,16 @@ bool ModelKey::operator<(const ModelKey& o) const {
   return flags < o.flags;
 }
 
+ModelKey model_key_for(const ModelingRequest& request,
+                       const std::string& backend_name) {
+  ModelKey key;
+  key.routine = routine_name(request.routine);
+  key.backend = backend_name;
+  key.locality = request.sampler.locality;
+  key.flags.assign(request.flags.begin(), request.flags.end());
+  return key;
+}
+
 KernelCall make_call(const ModelingRequest& request,
                      const std::vector<index_t>& point) {
   KernelCall call;
@@ -53,18 +63,20 @@ MeasureFn Modeler::make_measure_fn(const ModelingRequest& request) {
   // The sampler is shared across all measurements of one generation run.
   auto sampler = std::make_shared<Sampler>(*backend_, request.sampler);
   const ModelingRequest req = request;
-  return [sampler, req](const std::vector<index_t>& point) {
+  MeasureFn measure = [sampler, req](const std::vector<index_t>& point) {
     return sampler->measure(make_call(req, point));
+  };
+  if (store_ == nullptr) return measure;
+  // Engine-wide reuse: measurements are shared across generation runs of
+  // the same key (wider domains, strategy comparisons, regenerations).
+  return [store = store_, engine_key = key_for(request).to_string(),
+          measure](const std::vector<index_t>& point) {
+    return store->get_or_measure(engine_key, point, measure);
   };
 }
 
 ModelKey Modeler::key_for(const ModelingRequest& request) const {
-  ModelKey key;
-  key.routine = routine_name(request.routine);
-  key.backend = backend_->name();
-  key.locality = request.sampler.locality;
-  key.flags.assign(request.flags.begin(), request.flags.end());
-  return key;
+  return model_key_for(request, backend_->name());
 }
 
 GenerationResult Modeler::run_expansion(const ModelingRequest& request,
@@ -100,6 +112,17 @@ RoutineModel Modeler::build_refinement(const ModelingRequest& request,
   out.unique_samples = gen.unique_samples;
   out.average_error = gen.average_error;
   out.strategy = "refinement";
+  return out;
+}
+
+std::vector<RoutineModel> Modeler::build_batch(
+    const std::vector<ModelingRequest>& requests,
+    const RefinementConfig& config) {
+  std::vector<RoutineModel> out;
+  out.reserve(requests.size());
+  for (const ModelingRequest& request : requests) {
+    out.push_back(build_refinement(request, config));
+  }
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include "modeler/model.hpp"
 #include "modeler/strategies.hpp"
 #include "sampler/calls.hpp"
+#include "sampler/sample_store.hpp"
 #include "sampler/sampler.hpp"
 
 namespace dlap {
@@ -52,13 +53,30 @@ struct ModelingRequest {
   SamplerConfig sampler;        ///< locality, reps, seed
 };
 
+/// The repository key a request's model will carry when generated on the
+/// named backend (registry spec and backend name coincide for all
+/// built-in backends).
+[[nodiscard]] ModelKey model_key_for(const ModelingRequest& request,
+                                     const std::string& backend_name);
+
 /// Builds the KernelCall for a parameter point of the request.
 [[nodiscard]] KernelCall make_call(const ModelingRequest& request,
                                    const std::vector<index_t>& point);
 
+/// A Modeler instance drives one backend. It holds no mutable state of its
+/// own, so distinct instances (each with its own backend) are safe to run
+/// concurrently from different threads -- the model service does exactly
+/// that; one instance is also safe to drive from multiple threads when its
+/// backend's kernels are reentrant.
 class Modeler {
  public:
   explicit Modeler(Level3Backend& backend) : backend_(&backend) {}
+
+  /// Routes all measurements through an engine-wide sample store (keyed by
+  /// the request's ModelKey), so repeated generations reuse points already
+  /// measured. nullptr detaches. The store must outlive the Modeler's
+  /// measure functions.
+  void set_sample_store(SampleStore* store) noexcept { store_ = store; }
 
   /// Measurement source for the request (caching is applied inside the
   /// strategies, not here).
@@ -68,6 +86,13 @@ class Modeler {
                                              const ExpansionConfig& config);
   [[nodiscard]] RoutineModel build_refinement(const ModelingRequest& request,
                                               const RefinementConfig& config);
+
+  /// Batch generation: one model per request, in request order, all
+  /// sequential on this Modeler's backend. This is the reference path the
+  /// concurrent ModelService::generate_all is checked against.
+  [[nodiscard]] std::vector<RoutineModel> build_batch(
+      const std::vector<ModelingRequest>& requests,
+      const RefinementConfig& config);
 
   /// Full generation result (with events) for strategy-analysis benches.
   [[nodiscard]] GenerationResult run_expansion(const ModelingRequest& request,
@@ -79,6 +104,7 @@ class Modeler {
   [[nodiscard]] ModelKey key_for(const ModelingRequest& request) const;
 
   Level3Backend* backend_;
+  SampleStore* store_ = nullptr;
 };
 
 }  // namespace dlap

@@ -42,6 +42,14 @@ bool Region::intersects(const Region& other) const {
   return true;
 }
 
+bool Region::covers(const Region& other) const {
+  if (other.dims() != dims()) return false;
+  for (int d = 0; d < dims(); ++d) {
+    if (lo_[d] > other.lo_[d] || hi_[d] < other.hi_[d]) return false;
+  }
+  return true;
+}
+
 double Region::volume() const {
   double v = 1.0;
   for (int d = 0; d < dims(); ++d) {

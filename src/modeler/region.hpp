@@ -33,6 +33,10 @@ class Region {
 
   [[nodiscard]] bool intersects(const Region& other) const;
 
+  /// True when `other` lies entirely within this region (a stored model
+  /// whose domain covers a request's domain can serve it).
+  [[nodiscard]] bool covers(const Region& other) const;
+
   /// Number of lattice points at the given granularity (diagnostics).
   [[nodiscard]] double volume() const;
 

@@ -1,8 +1,10 @@
 #include "modeler/repository.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <thread>
 
 #include "common/str.hpp"
 
@@ -33,6 +35,33 @@ std::vector<index_t> read_indices(std::istringstream& is, std::size_t n) {
   return out;
 }
 
+// Escapes one file-name component injectively: alphanumerics and '_' pass
+// through, '@' (the threaded-backend separator) becomes "-t" for
+// readability, and every other character -- including '-' itself, so '-'
+// always starts an escape and the encoding stays unambiguous -- becomes
+// "-x" plus two hex digits. Components are later joined with '.', which
+// never survives escaping, so distinct keys always map to distinct file
+// names ("packed@8" vs a backend literally named "packed-t8", flags
+// containing '/', '.', ' ', ...).
+std::string escape_component(const std::string& component) {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(component.size());
+  for (const char c : component) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isalnum(u) || c == '_') {
+      out.push_back(c);
+    } else if (c == '@') {
+      out += "-t";
+    } else {
+      out += "-x";
+      out.push_back(hex[u >> 4]);
+      out.push_back(hex[u & 0xf]);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 ModelRepository::ModelRepository(std::filesystem::path dir)
@@ -41,14 +70,14 @@ ModelRepository::ModelRepository(std::filesystem::path dir)
 }
 
 std::string ModelRepository::filename(const ModelKey& key) {
-  std::string backend = key.backend;
-  // '@' is shell-unfriendly in some contexts; encode threads as "_t".
-  for (char& c : backend) {
-    if (c == '@') c = 't';
-  }
-  return key.routine + "__" + backend + "__" +
-         std::string(locality_name(key.locality)) + "__" +
-         (key.flags.empty() ? "noflags" : key.flags) + ".model";
+  // Empty flags use the same "-" marker as the serialized format; escaped
+  // components can never be a bare "-" (a literal '-' escapes to "-x2d"),
+  // so the marker cannot collide with any real flag string.
+  return escape_component(key.routine) + "." +
+         escape_component(key.backend) + "." +
+         std::string(locality_name(key.locality)) + "." +
+         (key.flags.empty() ? "-" : escape_component(key.flags)) +
+         ".model";
 }
 
 std::string ModelRepository::serialize(const RoutineModel& m) {
@@ -190,26 +219,70 @@ RoutineModel ModelRepository::deserialize(const std::string& text) {
   return m;
 }
 
-void ModelRepository::store(const RoutineModel& model) const {
+void ModelRepository::store(const RoutineModel& model) {
   const std::filesystem::path path = dir_ / filename(model.key);
-  std::ofstream out(path);
-  DLAP_REQUIRE(out.good(), "cannot write model file: " + path.string());
-  out << serialize(model);
+  // Atomic publication: write a writer-unique temp file, then rename it
+  // over the destination, so concurrent readers never see a partial model
+  // and concurrent writers of one key serialize to "last store wins".
+  const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  const std::filesystem::path tmp =
+      path.string() + ".tmp" + std::to_string(tid);
+  {
+    std::ofstream out(tmp);
+    DLAP_REQUIRE(out.good(), "cannot write model file: " + tmp.string());
+    out << serialize(model);
+  }
+  std::filesystem::rename(tmp, path);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_[model.key] = std::make_shared<const RoutineModel>(model);
+}
+
+std::shared_ptr<const RoutineModel> ModelRepository::load_uncached(
+    const ModelKey& key) const {
+  const std::filesystem::path path = dir_ / filename(key);
+  std::ifstream in(path);
+  if (!in.good()) return nullptr;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::make_shared<const RoutineModel>(deserialize(buf.str()));
+}
+
+std::shared_ptr<const RoutineModel> ModelRepository::find(
+    const ModelKey& key) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Parse outside the lock; a racing find() of the same key at worst
+  // parses twice and both end up with equivalent immutable models.
+  std::shared_ptr<const RoutineModel> fresh = load_uncached(key);
+  if (fresh == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = cache_.emplace(key, fresh);
+  return inserted ? fresh : it->second;
+}
+
+std::shared_ptr<const RoutineModel> ModelRepository::load_shared(
+    const ModelKey& key) const {
+  std::shared_ptr<const RoutineModel> model = find(key);
+  if (model == nullptr) {
+    throw lookup_error("no model stored for " + key.to_string() + " (" +
+                       (dir_ / filename(key)).string() + ")");
+  }
+  return model;
 }
 
 RoutineModel ModelRepository::load(const ModelKey& key) const {
-  const std::filesystem::path path = dir_ / filename(key);
-  std::ifstream in(path);
-  if (!in.good()) {
-    throw lookup_error("no model stored for " + key.to_string() + " (" +
-                       path.string() + ")");
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return deserialize(buf.str());
+  return *load_shared(key);
 }
 
 bool ModelRepository::contains(const ModelKey& key) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cache_.count(key) > 0) return true;
+  }
   return std::filesystem::exists(dir_ / filename(key));
 }
 
@@ -223,6 +296,16 @@ std::vector<ModelKey> ModelRepository::list() const {
     keys.push_back(deserialize(buf.str()).key);
   }
   return keys;
+}
+
+std::size_t ModelRepository::cache_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+void ModelRepository::invalidate_cache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
 }
 
 }  // namespace dlap

@@ -2,9 +2,19 @@
 // Model repository (paper Sections I and V): models are generated once and
 // "stored permanently in a repository" for later prediction runs. The
 // repository is a directory of self-describing text files, one per
-// (routine, backend, locality, flags) key.
+// (routine, backend, locality, flags) key, with an in-memory cache layered
+// on top so repeated lookups (prediction runs evaluate the same models
+// thousands of times) never touch the disk twice.
+//
+// Thread safety: all member functions may be called concurrently; the
+// on-disk files are written atomically (temp file + rename), so concurrent
+// writers of the same key serialize to "last store wins" and readers never
+// observe a partial file.
 
 #include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,18 +31,38 @@ class ModelRepository {
     return dir_;
   }
 
-  /// Writes the model to its key's file (overwriting an existing entry).
-  void store(const RoutineModel& model) const;
+  /// Writes the model to its key's file (overwriting an existing entry)
+  /// and refreshes the in-memory cache.
+  void store(const RoutineModel& model);
 
   /// Loads a model; throws dlap::lookup_error if absent.
   [[nodiscard]] RoutineModel load(const ModelKey& key) const;
 
+  /// Loads a model through the cache; the returned pointer is shared with
+  /// the cache (and with every ModelSet viewing it), so repeated loads of
+  /// one key cost a map lookup, not a parse. Throws dlap::lookup_error if
+  /// absent.
+  [[nodiscard]] std::shared_ptr<const RoutineModel> load_shared(
+      const ModelKey& key) const;
+
+  /// Like load_shared, but returns nullptr instead of throwing.
+  [[nodiscard]] std::shared_ptr<const RoutineModel> find(
+      const ModelKey& key) const;
+
   [[nodiscard]] bool contains(const ModelKey& key) const;
 
-  /// All keys currently stored.
+  /// All keys currently stored on disk.
   [[nodiscard]] std::vector<ModelKey> list() const;
 
-  /// File name a key maps to (stable; part of the on-disk format).
+  /// Number of models currently held in the in-memory cache.
+  [[nodiscard]] std::size_t cache_size() const;
+
+  /// Drops the in-memory cache (subsequent loads re-read the disk).
+  void invalidate_cache();
+
+  /// File name a key maps to (stable; part of the on-disk format). Every
+  /// component is escaped so that distinct keys always map to distinct
+  /// file names, even for path-hostile backend specs or flag strings.
   [[nodiscard]] static std::string filename(const ModelKey& key);
 
   /// Text (de)serialization, exposed for tests and tooling.
@@ -40,7 +70,12 @@ class ModelRepository {
   [[nodiscard]] static RoutineModel deserialize(const std::string& text);
 
  private:
+  [[nodiscard]] std::shared_ptr<const RoutineModel> load_uncached(
+      const ModelKey& key) const;
+
   std::filesystem::path dir_;
+  mutable std::mutex mutex_;
+  mutable std::map<ModelKey, std::shared_ptr<const RoutineModel>> cache_;
 };
 
 }  // namespace dlap

@@ -8,14 +8,19 @@
 namespace dlap {
 
 void ModelSet::add(RoutineModel model) {
-  const auto key = std::make_pair(model.key.routine, model.key.flags);
-  models_.insert_or_assign(key, std::move(model));
+  add(std::make_shared<const RoutineModel>(std::move(model)));
+}
+
+void ModelSet::add(std::shared_ptr<const RoutineModel> model) {
+  DLAP_REQUIRE(model != nullptr, "ModelSet::add: null model");
+  auto key = std::make_pair(model->key.routine, model->key.flags);
+  models_.insert_or_assign(std::move(key), std::move(model));
 }
 
 const RoutineModel* ModelSet::find(const std::string& routine,
                                    const std::string& flags) const {
   const auto it = models_.find(std::make_pair(routine, flags));
-  return it == models_.end() ? nullptr : &it->second;
+  return it == models_.end() ? nullptr : it->second.get();
 }
 
 double Prediction::efficiency_median(double total_flops) const {
@@ -24,11 +29,20 @@ double Prediction::efficiency_median(double total_flops) const {
 }
 
 Predictor::Predictor(const ModelSet& models, PredictionOptions options)
-    : models_(&models), options_(options) {}
+    : resolve_([set = &models](const std::string& routine,
+                               const std::string& flags) {
+        return set->find(routine, flags);
+      }),
+      options_(options) {}
+
+Predictor::Predictor(ModelResolver resolver, PredictionOptions options)
+    : resolve_(std::move(resolver)), options_(options) {
+  DLAP_REQUIRE(resolve_ != nullptr, "Predictor: null model resolver");
+}
 
 SampleStats Predictor::predict_call(const KernelCall& call) const {
   const RoutineModel* m =
-      models_->find(routine_name(call.routine), call.flag_key());
+      resolve_(routine_name(call.routine), call.flag_key());
   if (m == nullptr) {
     throw lookup_error(std::string("no model for ") +
                        routine_name(call.routine) + " flags '" +
@@ -48,7 +62,7 @@ Prediction Predictor::predict(const CallTrace& trace) const {
       continue;
     }
     const RoutineModel* m =
-        models_->find(routine_name(call.routine), call.flag_key());
+        resolve_(routine_name(call.routine), call.flag_key());
     if (m == nullptr) {
       if (options_.strict) {
         throw lookup_error(std::string("no model for ") +

@@ -4,7 +4,9 @@
 // performance model; the results are then accumulated, thus generating a
 // performance prediction."
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "modeler/modeler.hpp"
@@ -15,9 +17,13 @@ namespace dlap {
 
 /// In-memory set of models used by a prediction run; normally all entries
 /// share one backend and locality (one "system" in the paper's sense).
+/// Entries are held by shared pointer, so a set populated from the
+/// repository is a view over the repository's cache: adding a model shares
+/// it instead of copying its pieces.
 class ModelSet {
  public:
   void add(RoutineModel model);
+  void add(std::shared_ptr<const RoutineModel> model);
 
   /// nullptr when no model covers (routine, flags).
   [[nodiscard]] const RoutineModel* find(const std::string& routine,
@@ -28,7 +34,9 @@ class ModelSet {
  private:
   // Keyed by routine + flag values; backend/locality are properties of the
   // set as a whole.
-  std::map<std::pair<std::string, std::string>, RoutineModel> models_;
+  std::map<std::pair<std::string, std::string>,
+           std::shared_ptr<const RoutineModel>>
+      models_;
 };
 
 struct PredictionOptions {
@@ -56,9 +64,22 @@ struct Prediction {
   [[nodiscard]] double efficiency_median(double total_flops) const;
 };
 
+/// Where a Predictor gets its models: maps (routine name, flag values) to
+/// a model, or nullptr when none covers the pair. The repository-backed
+/// predictor plugs lazy repository loads (and on-demand generation) in
+/// through this seam.
+using ModelResolver =
+    std::function<const RoutineModel*(const std::string& routine,
+                                      const std::string& flags)>;
+
 class Predictor {
  public:
+  /// Predicts from a fixed, pre-assembled set. The set must outlive the
+  /// predictor.
   explicit Predictor(const ModelSet& models, PredictionOptions options = {});
+
+  /// Predicts through a resolver (e.g. backed by the model repository).
+  explicit Predictor(ModelResolver resolver, PredictionOptions options = {});
 
   [[nodiscard]] Prediction predict(const CallTrace& trace) const;
 
@@ -66,7 +87,7 @@ class Predictor {
   [[nodiscard]] SampleStats predict_call(const KernelCall& call) const;
 
  private:
-  const ModelSet* models_;
+  ModelResolver resolve_;
   PredictionOptions options_;
 };
 

@@ -1,0 +1,58 @@
+#pragma once
+// Engine-wide measurement store.
+//
+// The generation strategies keep a per-invocation cache (so "samples"
+// means distinct measured points within one run, as in the paper's
+// Fig III.8 accounting); this store sits one level up and is keyed per
+// *engine*: one instance lives for the lifetime of a ModelService, shared
+// by every generation the service performs. Re-modeling a key -- with a
+// wider domain, a different strategy, or after a predictor-triggered
+// on-demand generation -- reuses every measurement already paid for,
+// instead of re-sampling from scratch.
+//
+// Thread safety: all members may be called concurrently. Measurements run
+// outside the lock, so concurrent generations of different keys never
+// serialize on each other's sampling.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sampler/stats.hpp"
+
+namespace dlap {
+
+class SampleStore {
+ public:
+  using Measure = std::function<SampleStats(const std::vector<index_t>&)>;
+
+  /// Returns the cached statistics for (engine_key, point), measuring and
+  /// inserting them on a miss. engine_key identifies the measurement
+  /// context (normally ModelKey::to_string()): points are only shared
+  /// between measurements of the same routine/backend/locality/flags.
+  [[nodiscard]] SampleStats get_or_measure(const std::string& engine_key,
+                                           const std::vector<index_t>& point,
+                                           const Measure& measure);
+
+  /// Total points cached, across all engine keys.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Cache hit / miss counters (monotonic; for diagnostics and tests).
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+  void clear();
+
+ private:
+  using Key = std::pair<std::string, std::vector<index_t>>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, SampleStats> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dlap

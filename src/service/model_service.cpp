@@ -1,0 +1,209 @@
+#include "service/model_service.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "blas/registry.hpp"
+
+namespace dlap {
+
+ModelService::ModelService(ServiceConfig config)
+    : config_(std::move(config)),
+      repo_(config_.repository_dir),
+      pool_(config_.workers) {}
+
+ModelKey ModelService::key_for(const ModelJob& job) {
+  // Registry specs and backend names coincide for every built-in backend
+  // ("blocked", "packed@8", ...), so the spec doubles as the key's
+  // backend component without instantiating the backend.
+  return model_key_for(job.request, job.backend);
+}
+
+std::shared_ptr<const RoutineModel> ModelService::find(
+    const ModelKey& key) const {
+  try {
+    return repo_.find(key);
+  } catch (const parse_error& e) {
+    std::fprintf(stderr,
+                 "[dlaperf] warning: corrupt model file for %s (%s); "
+                 "treating as missing\n",
+                 key.to_string().c_str(), e.what());
+    return nullptr;
+  }
+}
+
+std::shared_ptr<const RoutineModel> ModelService::reusable(
+    const ModelJob& job, const ModelKey& key) const {
+  if (!config_.reuse_stored) return nullptr;
+  std::shared_ptr<const RoutineModel> stored = find(key);
+  if (stored != nullptr &&
+      stored->model.domain().covers(job.request.domain)) {
+    return stored;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const RoutineModel> ModelService::generate_one(
+    const ModelJob& job, const ModelKey& key) {
+  if (config_.verbose) {
+    std::fprintf(stderr, "[dlaperf] generating model %s ...\n",
+                 key.to_string().c_str());
+  }
+
+  RoutineModel model;
+  if (config_.measure_factory) {
+    MeasureFn base = config_.measure_factory(job);
+    DLAP_REQUIRE(base != nullptr,
+                 "ServiceConfig::measure_factory returned an empty function");
+    // Factory measurements bypass the Modeler, but still flow through the
+    // engine-wide store so regenerations reuse points already paid for.
+    MeasureFn measure = [this, engine_key = key.to_string(),
+                         base](const std::vector<index_t>& point) {
+      return samples_.get_or_measure(engine_key, point, base);
+    };
+    GenerationResult gen = generate_adaptive_refinement(
+        job.request.domain, measure, config_.refinement);
+    model.key = key;
+    model.model = std::move(gen.model);
+    model.unique_samples = gen.unique_samples;
+    model.average_error = gen.average_error;
+    model.strategy = "refinement";
+  } else {
+    // Every generation samples on its own backend instance, so concurrent
+    // workers never share kernel-internal state (thread pools, packing
+    // buffers) and measurements stay interference-free. The Modeler
+    // routes measurements through the engine-wide sample store.
+    std::unique_ptr<Level3Backend> backend = make_backend(job.backend);
+    Modeler modeler(*backend);
+    modeler.set_sample_store(&samples_);
+    model = modeler.build_refinement(job.request, config_.refinement);
+  }
+  repo_.store(model);
+
+  if (config_.verbose) {
+    std::fprintf(stderr,
+                 "[dlaperf]   %zu regions, %lld samples, avg err %.2f%%\n",
+                 model.model.pieces().size(),
+                 static_cast<long long>(model.unique_samples),
+                 100.0 * model.average_error);
+  }
+  return repo_.load_shared(key);
+}
+
+std::vector<std::shared_ptr<const RoutineModel>> ModelService::generate_all(
+    const std::vector<ModelJob>& jobs) {
+  struct Pending {
+    ModelJob job;
+    ModelKey key;
+    std::shared_ptr<ModelPromise> promise;
+  };
+  std::vector<ModelFuture> futures(jobs.size());
+  std::vector<Pending> to_run;
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const ModelKey key = key_for(jobs[i]);
+    if (std::shared_ptr<const RoutineModel> have = reusable(jobs[i], key)) {
+      ModelPromise ready;
+      ready.set_value(std::move(have));
+      futures[i] = ready.get_future().share();
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      // Duplicate key (within this batch or from a concurrent caller):
+      // join the generation already under way.
+      futures[i] = it->second;
+      continue;
+    }
+    auto promise = std::make_shared<ModelPromise>();
+    futures[i] = promise->get_future().share();
+    inflight_.emplace(key, futures[i]);
+    to_run.push_back({jobs[i], key, std::move(promise)});
+  }
+
+  // One dynamically scheduled task per distinct key; generation cost
+  // varies wildly between keys (domain size, routine dimensionality), so
+  // self-scheduling beats static chunking here.
+  pool_.parallel_for_each(
+      static_cast<index_t>(to_run.size()), [&](index_t t) {
+        Pending& p = to_run[static_cast<std::size_t>(t)];
+        try {
+          p.promise->set_value(generate_one(p.job, p.key));
+        } catch (...) {
+          p.promise->set_exception(std::current_exception());
+        }
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        inflight_.erase(p.key);
+      });
+
+  std::vector<std::shared_ptr<const RoutineModel>> out;
+  out.reserve(jobs.size());
+  for (ModelFuture& f : futures) out.push_back(f.get());
+
+  // A job that joined another generation of its key (duplicate within the
+  // batch, or a concurrent caller) may have received a model over a
+  // narrower domain than it asked for; regenerate those with the full
+  // requested domain rather than handing back an extrapolating model.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!out[i]->model.domain().covers(jobs[i].request.domain)) {
+      out[i] = get_or_generate(jobs[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<const RoutineModel>>
+ModelService::generate_all_sequential(const std::vector<ModelJob>& jobs) {
+  std::vector<std::shared_ptr<const RoutineModel>> out;
+  out.reserve(jobs.size());
+  for (const ModelJob& job : jobs) out.push_back(get_or_generate(job));
+  return out;
+}
+
+std::shared_ptr<const RoutineModel> ModelService::get_or_generate(
+    const ModelJob& job) {
+  const ModelKey key = key_for(job);
+  for (;;) {
+    if (std::shared_ptr<const RoutineModel> have = reusable(job, key)) {
+      return have;
+    }
+
+    ModelFuture waitee;
+    std::shared_ptr<ModelPromise> claim;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      const auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        waitee = it->second;
+      } else {
+        claim = std::make_shared<ModelPromise>();
+        inflight_.emplace(key, claim->get_future().share());
+      }
+    }
+
+    if (claim != nullptr) {
+      std::shared_ptr<const RoutineModel> model;
+      try {
+        model = generate_one(job, key);
+        claim->set_value(model);
+      } catch (...) {
+        claim->set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        inflight_.erase(key);
+        throw;
+      }
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_.erase(key);
+      return model;
+    }
+
+    std::shared_ptr<const RoutineModel> joined = waitee.get();
+    // The joined generation may have modeled a smaller domain than this
+    // job asks for; accept it only when it covers ours, else go around
+    // and generate with the full requested domain.
+    if (joined->model.domain().covers(job.request.domain)) return joined;
+  }
+}
+
+}  // namespace dlap

@@ -1,0 +1,131 @@
+#pragma once
+// ModelService: the sampler -> modeler -> repository -> predictor pipeline
+// as one long-lived engine (the dissertation's view of the paper's
+// workflow: a model repository consulted as a service by many prediction
+// runs).
+//
+// The service owns
+//   - a thread-safe ModelRepository (on-disk text files + in-memory cache),
+//   - an engine-wide SampleStore (measurements reused across generations),
+//   - a ThreadPool that fans a batch of modeling jobs out concurrently,
+//     one worker per (routine, flags, backend, locality) key, each worker
+//     sampling on its OWN backend instance so measurements never interfere.
+//
+// Callers hand it ModelJobs and get repository-cached models back;
+// RepositoryBackedPredictor (service/repository_predictor.hpp) closes the
+// loop by resolving models lazily -- generating missing ones on demand --
+// during prediction.
+
+#include <filesystem>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/threadpool.hpp"
+#include "modeler/modeler.hpp"
+#include "modeler/repository.hpp"
+#include "sampler/sample_store.hpp"
+
+namespace dlap {
+
+/// One unit of service work: generate (or reuse) the model of `request`
+/// on the backend named by the registry spec `backend`.
+struct ModelJob {
+  ModelingRequest request;
+  std::string backend = "blocked";
+};
+
+struct ServiceConfig {
+  /// Repository directory (created if absent).
+  std::filesystem::path repository_dir = "dlaperf_models";
+  /// Generation workers; 0 means std::thread::hardware_concurrency().
+  index_t workers = 0;
+  /// Strategy for every generated model (the paper selects Adaptive
+  /// Refinement with epsilon = 10%, s_min = 32 in III-D3 -- the defaults).
+  RefinementConfig refinement;
+  /// Serve a stored model instead of regenerating when its domain covers
+  /// the requested one.
+  bool reuse_stored = true;
+  /// Progress lines on stderr.
+  bool verbose = false;
+  /// Test/bench hook: when set, replaces the real Sampler as the
+  /// measurement source of every job (deterministic fits, latency-bound
+  /// scheduling benchmarks). Production leaves it empty.
+  std::function<MeasureFn(const ModelJob&)> measure_factory;
+};
+
+class ModelService {
+ public:
+  explicit ModelService(ServiceConfig config = {});
+
+  ModelService(const ModelService&) = delete;
+  ModelService& operator=(const ModelService&) = delete;
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] ModelRepository& repository() noexcept { return repo_; }
+  [[nodiscard]] const ModelRepository& repository() const noexcept {
+    return repo_;
+  }
+  [[nodiscard]] SampleStore& samples() noexcept { return samples_; }
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+
+  /// The repository key a job resolves to.
+  [[nodiscard]] static ModelKey key_for(const ModelJob& job);
+
+  /// Generates models for all jobs, fanned out across the pool with one
+  /// task per distinct key (duplicate keys are generated once); results
+  /// come back in job order and are stored in the repository. Jobs whose
+  /// key is already stored with a covering domain are served from the
+  /// repository when config().reuse_stored is set. The first generation
+  /// error (in job order) is rethrown after all tasks settle.
+  [[nodiscard]] std::vector<std::shared_ptr<const RoutineModel>> generate_all(
+      const std::vector<ModelJob>& jobs);
+
+  /// Reference path: the same per-job pipeline, run strictly sequentially
+  /// on the calling thread. With a deterministic measurement source this
+  /// produces bit-identical repository files to generate_all.
+  [[nodiscard]] std::vector<std::shared_ptr<const RoutineModel>>
+  generate_all_sequential(const std::vector<ModelJob>& jobs);
+
+  /// Returns the stored model for the job's key when it covers the
+  /// requested domain; generates (and stores) it otherwise. Concurrent
+  /// calls for one key share a single generation.
+  [[nodiscard]] std::shared_ptr<const RoutineModel> get_or_generate(
+      const ModelJob& job);
+
+  /// Repository lookup only; nullptr when the key has never been modeled.
+  /// Unlike ModelRepository::find, a stored file that fails to parse is
+  /// treated as missing (with a warning) rather than fatal, so a corrupt
+  /// entry gets regenerated instead of wedging the service.
+  [[nodiscard]] std::shared_ptr<const RoutineModel> find(
+      const ModelKey& key) const;
+
+ private:
+  using ModelFuture = std::shared_future<std::shared_ptr<const RoutineModel>>;
+  using ModelPromise = std::promise<std::shared_ptr<const RoutineModel>>;
+
+  /// Stored model if reusable under config().reuse_stored, else nullptr.
+  [[nodiscard]] std::shared_ptr<const RoutineModel> reusable(
+      const ModelJob& job, const ModelKey& key) const;
+
+  /// Runs the full generation pipeline for one job and stores the result.
+  [[nodiscard]] std::shared_ptr<const RoutineModel> generate_one(
+      const ModelJob& job, const ModelKey& key);
+
+  ServiceConfig config_;
+  ModelRepository repo_;
+  SampleStore samples_;
+  ThreadPool pool_;
+
+  // Keys currently being generated; late arrivals wait on the future
+  // instead of duplicating the work.
+  std::mutex inflight_mutex_;
+  std::map<ModelKey, ModelFuture> inflight_;
+};
+
+}  // namespace dlap

@@ -1,0 +1,82 @@
+#include "service/repository_predictor.hpp"
+
+namespace dlap {
+
+RepositoryBackedPredictor::RepositoryBackedPredictor(ModelService& service,
+                                                     std::string backend,
+                                                     Locality locality,
+                                                     PredictionOptions options)
+    : state_(std::make_shared<State>()), options_(options) {
+  state_->service = &service;
+  state_->backend = std::move(backend);
+  state_->locality = locality;
+}
+
+void RepositoryBackedPredictor::plan(ModelingRequest request) {
+  request.sampler.locality = state_->locality;
+  auto key = std::make_pair(std::string(routine_name(request.routine)),
+                            std::string(request.flags.begin(),
+                                        request.flags.end()));
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->plans.insert_or_assign(std::move(key), std::move(request));
+}
+
+const RoutineModel* RepositoryBackedPredictor::State::resolve(
+    const std::string& routine, const std::string& flags) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (const RoutineModel* hit = loaded.find(routine, flags)) return hit;
+  }
+
+  // Resolve outside the lock: repository reads are cheap, but a plan miss
+  // triggers a full on-demand generation. Concurrent resolves of one key
+  // are deduplicated inside the service.
+  std::shared_ptr<const RoutineModel> model;
+  ModelingRequest plan_request;
+  bool have_plan = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = plans.find({routine, flags});
+    if (it != plans.end()) {
+      plan_request = it->second;
+      have_plan = true;
+    }
+  }
+  if (have_plan) {
+    model = service->get_or_generate({plan_request, backend});
+  } else {
+    model = service->find(ModelKey{routine, backend, locality, flags});
+  }
+  if (model == nullptr) return nullptr;
+
+  std::lock_guard<std::mutex> lock(mutex);
+  // First resolve wins: never replace an entry another thread's Predictor
+  // may still be evaluating through a raw pointer -- loaded entries stay
+  // pinned for the state's lifetime.
+  if (const RoutineModel* raced = loaded.find(routine, flags)) return raced;
+  loaded.add(std::move(model));
+  return loaded.find(routine, flags);
+}
+
+ModelResolver RepositoryBackedPredictor::resolver() const {
+  return [state = state_](const std::string& routine,
+                          const std::string& flags) {
+    return state->resolve(routine, flags);
+  };
+}
+
+Prediction RepositoryBackedPredictor::predict(const CallTrace& trace) const {
+  return Predictor(resolver(), options_).predict(trace);
+}
+
+SampleStats RepositoryBackedPredictor::predict_call(
+    const KernelCall& call) const {
+  return Predictor(resolver(), options_).predict_call(call);
+}
+
+std::size_t RepositoryBackedPredictor::loaded_models() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->loaded.size();
+}
+
+}  // namespace dlap

@@ -1,0 +1,82 @@
+#pragma once
+// Repository-backed prediction: a predictor that resolves models lazily
+// from the ModelService instead of requiring callers to pre-assemble a
+// ModelSet.
+//
+// On the first call that needs a (routine, flags) model, the predictor
+// looks it up in the repository (cheap: in-memory cache after the first
+// disk read). When the repository has no entry and the caller registered
+// a generation plan for the pair, the model is generated on demand
+// through the service -- the "non-strict fallback" that turns a missed
+// lookup into a modeling job instead of an error. Without a plan, misses
+// follow PredictionOptions: strict mode throws, non-strict mode counts
+// the call in Prediction::missing.
+//
+// Instances are cheap to copy; copies share the resolved-model cache.
+// All members are safe to call concurrently.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "predict/predictor.hpp"
+#include "service/model_service.hpp"
+
+namespace dlap {
+
+class RepositoryBackedPredictor {
+ public:
+  /// Predicts for models generated on `backend` under `locality` (one
+  /// "system" in the paper's sense). The service must outlive the
+  /// predictor and all its copies.
+  RepositoryBackedPredictor(ModelService& service, std::string backend,
+                            Locality locality,
+                            PredictionOptions options = {});
+
+  /// Registers the generation plan for the request's (routine, flags)
+  /// pair: when prediction needs that model and the repository lacks it
+  /// (or only covers a smaller domain), it is generated on demand from
+  /// this request. The request's locality is overridden by the
+  /// predictor's.
+  void plan(ModelingRequest request);
+
+  [[nodiscard]] Prediction predict(const CallTrace& trace) const;
+
+  /// Convenience: prediction for a single call.
+  [[nodiscard]] SampleStats predict_call(const KernelCall& call) const;
+
+  /// The lazy-resolution seam, usable to assemble a plain Predictor.
+  [[nodiscard]] ModelResolver resolver() const;
+
+  /// Models resolved (loaded or generated) so far.
+  [[nodiscard]] std::size_t loaded_models() const;
+
+  [[nodiscard]] const std::string& backend() const noexcept {
+    return state_->backend;
+  }
+  [[nodiscard]] Locality locality() const noexcept {
+    return state_->locality;
+  }
+
+ private:
+  struct State {
+    ModelService* service;
+    std::string backend;
+    Locality locality;
+
+    mutable std::mutex mutex;
+    // Resolved models; entries pin their RoutineModel, so raw pointers
+    // handed to the Predictor stay valid for the state's lifetime.
+    mutable ModelSet loaded;
+    std::map<std::pair<std::string, std::string>, ModelingRequest> plans;
+
+    [[nodiscard]] const RoutineModel* resolve(const std::string& routine,
+                                              const std::string& flags) const;
+  };
+
+  std::shared_ptr<State> state_;
+  PredictionOptions options_;
+};
+
+}  // namespace dlap

@@ -295,6 +295,48 @@ TEST(ThreadPool, PropagatesExceptions) {
   EXPECT_EQ(n.load(), 10);
 }
 
+TEST(ThreadPool, ParallelForEachVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(257);
+  for (auto& v : visits) v.store(0);
+  pool.parallel_for_each(257, [&](index_t i) {
+    visits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+
+  std::atomic<int> calls{0};
+  pool.parallel_for_each(0, [&](index_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForEachPropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for_each(
+                   50,
+                   [&](index_t i) {
+                     if (i == 17) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  // Pool must remain usable afterwards.
+  std::atomic<int> n{0};
+  pool.parallel_for_each(10, [&](index_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureWithResultOrException) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 6 * 7; });
+  auto boom = pool.submit(
+      []() -> int { throw std::runtime_error("bad job"); });
+  EXPECT_EQ(ok.get(), 42);
+  EXPECT_THROW((void)boom.get(), std::runtime_error);
+
+  // void-returning jobs work too.
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran.store(true); }).get();
+  EXPECT_TRUE(ran.load());
+}
+
 TEST(ThreadPool, ManySequentialParallelFors) {
   ThreadPool pool(2);
   std::atomic<long> total{0};

@@ -254,6 +254,35 @@ TEST(IntegrationReal, ModelPredictStoreReloadRoundTrip) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(IntegrationReal, ModelerBatchGeneratesInRequestOrder) {
+  Modeler modeler(backend_instance("naive"));
+
+  ModelingRequest trsm;
+  trsm.routine = RoutineId::Trsm;
+  trsm.flags = {'L', 'L', 'N', 'N'};
+  trsm.domain = Region({8, 8}, {48, 48});
+  trsm.fixed_ld = 64;
+  trsm.sampler.reps = 2;
+  ModelingRequest trmm = trsm;
+  trmm.routine = RoutineId::Trmm;
+  trmm.flags = {'R', 'L', 'N', 'N'};
+
+  RefinementConfig cfg;
+  cfg.base.error_bound = 0.50;  // loose: this is a smoke test
+  cfg.min_region_size = 32;
+  const std::vector<RoutineModel> models =
+      modeler.build_batch({trsm, trmm}, cfg);
+  ASSERT_EQ(models.size(), 2u);
+  EXPECT_EQ(models[0].key.routine, "dtrsm");
+  EXPECT_EQ(models[1].key.routine, "dtrmm");
+  for (const RoutineModel& m : models) {
+    EXPECT_EQ(m.key.backend, "naive");
+    EXPECT_EQ(m.strategy, "refinement");
+    EXPECT_GT(m.unique_samples, 0);
+    EXPECT_GT(m.model.evaluate(std::vector<index_t>{32, 32}).median, 0.0);
+  }
+}
+
 TEST(IntegrationReal, ExpansionStrategyOnRealMeasurements) {
   Modeler modeler(backend_instance("naive"));
   ModelingRequest req;

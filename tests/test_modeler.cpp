@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <set>
 
 #include "modeler/fit.hpp"
 #include "modeler/lstsq.hpp"
@@ -505,13 +507,82 @@ TEST(Repository, CorruptedFileThrowsParseError) {
                parse_error);
 }
 
+TEST(Fit, FallsBackToLowerDegreeWhenMedianFitGoesNegative) {
+  // Least-squares cubics of sharply decaying positive data undershoot
+  // into negative territory near the tail. A performance model must
+  // never predict <= 0 ticks at a measured point, so fit_polynomial
+  // falls back to lower degrees until the median fit is positive at
+  // every sample.
+  const Region r({0}, {70});
+  const auto samples =
+      sample_function(r, 10, [](const std::vector<index_t>& x) {
+        return 1e6 * std::exp(-0.35 * static_cast<double>(x[0]));
+      });
+  const FitResult fit = fit_polynomial(r, samples, 3);
+  EXPECT_LT(fit.poly.degree(), 3);  // the cubic itself is degenerate
+  for (const SamplePoint& sp : samples) {
+    EXPECT_GT(fit.poly.evaluate_stat(
+                  Stat::Median, {static_cast<double>(sp.x[0])}),
+              0.0)
+        << "at x = " << sp.x[0];
+  }
+}
+
 TEST(Repository, FilenameEncodesKeyAndIsStable) {
   ModelKey key{"dtrsm", "blocked@8", Locality::OutOfCache, "LLNN"};
   EXPECT_EQ(ModelRepository::filename(key),
-            "dtrsm__blockedt8__out_of_cache__LLNN.model");
+            "dtrsm.blocked-t8.out_of_cache.LLNN.model");
   ModelKey noflags{"sylv_unb", "naive", Locality::InCache, ""};
   EXPECT_EQ(ModelRepository::filename(noflags),
-            "sylv_unb__naive__in_cache__noflags.model");
+            "sylv_unb.naive.in_cache.-.model");
+}
+
+TEST(Repository, FilenamesOfDistinctKeysNeverCollide) {
+  // The seed mapped '@' to 't', so "packed@8" collided with a backend
+  // literally named "packedt8"; path-hostile flag strings collided with
+  // their sanitized twins. The escaped scheme keeps every key distinct.
+  const std::vector<ModelKey> keys{
+      {"dtrsm", "packed@8", Locality::InCache, "LLNN"},
+      {"dtrsm", "packedt8", Locality::InCache, "LLNN"},
+      {"dtrsm", "packed-t8", Locality::InCache, "LLNN"},
+      {"dtrsm", "blocked", Locality::InCache, "L/NN"},
+      {"dtrsm", "blocked", Locality::InCache, "L-x2fNN"},
+      {"dtrsm", "blocked", Locality::InCache, "L.NN"},
+      {"dtrsm", "blocked", Locality::InCache, "L NN"},
+      {"dtrsm", "blocked", Locality::InCache, ".."},
+      {"dtrsm", "blocked", Locality::OutOfCache, "LLNN"},
+      {"dtrsm", "blocked", Locality::InCache, ""},
+      {"dtrsm", "blocked", Locality::InCache, "noflags"},
+      {"dtrsm", "blocked", Locality::InCache, "-"},
+  };
+  std::set<std::string> names;
+  for (const ModelKey& k : keys) {
+    const std::string name = ModelRepository::filename(k);
+    EXPECT_TRUE(names.insert(name).second)
+        << "collision on " << name << " for key " << k.to_string();
+    // Path-hostile characters never leak into the file name.
+    EXPECT_EQ(name.find('/'), std::string::npos) << name;
+    EXPECT_EQ(name.find(' '), std::string::npos) << name;
+  }
+}
+
+TEST(ModelKey, OrderingConsistentWithEquality) {
+  // operator< must order exactly the keys operator== distinguishes, over
+  // every field (routine, backend, locality, flags).
+  const std::vector<ModelKey> keys{
+      {"dgemm", "blocked", Locality::InCache, "NN"},
+      {"dtrsm", "blocked", Locality::InCache, "LLNN"},
+      {"dtrsm", "blocked", Locality::InCache, "RLNN"},
+      {"dtrsm", "blocked", Locality::OutOfCache, "LLNN"},
+      {"dtrsm", "packed", Locality::InCache, "LLNN"},
+  };
+  for (const ModelKey& a : keys) {
+    for (const ModelKey& b : keys) {
+      EXPECT_EQ(a == b, !(a < b) && !(b < a))
+          << a.to_string() << " vs " << b.to_string();
+      EXPECT_FALSE((a < b) && (b < a));
+    }
+  }
 }
 
 }  // namespace
