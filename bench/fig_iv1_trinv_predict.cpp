@@ -4,6 +4,11 @@
 //   (b) in-cache models overestimate it and rank all variants correctly,
 //   (c) statistical prediction: median/mean/min/max ranges.
 //
+// All predictions flow through the shared Engine: one prepare() per
+// system generates the sweep's models as a concurrent batch, then each
+// size asks for all (variant, system) combinations with one batched
+// predict_many call.
+//
 // Output: per n, measured efficiency of each variant, then the in-cache
 // and out-of-cache median predictions and the in-cache min/mean/max for
 // variant-level range checks; finally the per-n ranking agreement.
@@ -17,10 +22,14 @@ int main() {
   const Scales sc = current_scales();
   const std::string backend = system_a();
 
-  const RepositoryBackedPredictor in_pred =
-      trinv_predictor(backend, Locality::InCache, sc);
-  const RepositoryBackedPredictor out_pred =
-      trinv_predictor(backend, Locality::OutOfCache, sc);
+  Engine& engine = shared_engine();
+  const SystemSpec in_sys{backend, Locality::InCache};
+  const SystemSpec out_sys{backend, Locality::OutOfCache};
+  // Models derived from the largest sweep size cover every smaller one.
+  const auto specs =
+      RankQuery::trinv_variants(sc.sweep_max, sc.blocksize).candidates;
+  require_ok(engine.prepare(specs, in_sys));
+  require_ok(engine.prepare(specs, out_sys));
 
   print_comment("Fig IV.1: trinv predictions vs observations, backend " +
                 backend + ", blocksize " + std::to_string(sc.blocksize));
@@ -33,14 +42,25 @@ int main() {
   index_t points = 0;
   std::vector<double> top1_hits;
   for (index_t n = 96; n <= sc.sweep_max; n += step) {
+    std::vector<PredictQuery> queries;
+    for (int v = 1; v <= kTrinvVariantCount; ++v) {
+      PredictQuery q =
+          PredictQuery::of(OperationSpec::trinv(v, n, sc.blocksize));
+      q.system = in_sys;
+      queries.push_back(q);
+      q.system = out_sys;
+      queries.push_back(q);
+    }
+    const auto predictions = engine.predict_many(queries);
+
     std::vector<double> meas_eff, in_eff, out_eff;
     std::vector<double> meas_ticks, in_ticks;
     for (int v = 1; v <= kTrinvVariantCount; ++v) {
       const double mt =
           measure_trinv_ticks(backend, v, n, sc.blocksize, sc.reps);
-      const CallTrace trace = trace_trinv(v, n, sc.blocksize);
-      const double it = in_pred.predict(trace).ticks.median;
-      const double ot = out_pred.predict(trace).ticks.median;
+      const std::size_t qi = static_cast<std::size_t>(2 * (v - 1));
+      const double it = require_ok(predictions[qi]).ticks.median;
+      const double ot = require_ok(predictions[qi + 1]).ticks.median;
       meas_ticks.push_back(mt);
       in_ticks.push_back(it);
       meas_eff.push_back(trinv_efficiency(n, mt));
@@ -73,8 +93,10 @@ int main() {
   print_header({"variant", "eff_from_max", "eff_median", "eff_mean",
                 "eff_from_min", "measured"});
   for (int v = 1; v <= kTrinvVariantCount; ++v) {
-    const Prediction p =
-        in_pred.predict(trace_trinv(v, n, sc.blocksize));
+    PredictQuery q =
+        PredictQuery::of(OperationSpec::trinv(v, n, sc.blocksize));
+    q.system = in_sys;
+    const Prediction p = require_ok(engine.predict(q));
     const double mt =
         measure_trinv_ticks(backend, v, n, sc.blocksize, sc.reps);
     print_row(static_cast<double>(v),

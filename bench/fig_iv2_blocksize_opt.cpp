@@ -1,5 +1,7 @@
 // Fig IV.2 -- block-size optimization for trinv: predictions and
-// measurements as the block size varies at fixed matrix size.
+// measurements as the block size varies at fixed matrix size. The
+// predicted side is one TuneQuery per variant -- the engine's native
+// formulation of this figure's question.
 //
 // Expected shape: predictions capture the behavior around the most
 // efficient block sizes; the predicted optimum block size matches (or
@@ -15,19 +17,31 @@ int main() {
   const std::string backend = system_a();
   const index_t n = sc.trinv_fixed_n;
 
-  const RepositoryBackedPredictor pred =
-      trinv_predictor(backend, Locality::InCache, sc);
+  Engine& engine = shared_engine();
+  const SystemSpec system{backend, Locality::InCache};
 
   print_comment("Fig IV.2: block-size optimization for trinv at n = " +
                 std::to_string(n) + ", backend " + backend);
   print_header({"b", "meas_v1", "meas_v2", "meas_v3", "meas_v4",
                 "pred_v1", "pred_v2", "pred_v3", "pred_v4"});
 
-  std::vector<index_t> bs;
-  std::vector<std::vector<double>> meas(kTrinvVariantCount),
-      predicted(kTrinvVariantCount);
-  for (index_t b = 16; b <= sc.bsweep_max; b += 16) {
-    bs.push_back(b);
+  // One tune query per variant; the engine derives and generates the
+  // models covering the whole sweep before predicting it.
+  std::vector<TuneResult> tuned;
+  for (int v = 1; v <= kTrinvVariantCount; ++v) {
+    TuneQuery q;
+    q.spec = OperationSpec::trinv(v, n, /*blocksize=*/16);
+    q.lo = 16;
+    q.hi = sc.bsweep_max;
+    q.step = 16;
+    q.system = system;
+    tuned.push_back(require_ok(engine.tune(q)));
+  }
+  const std::vector<index_t>& bs = tuned[0].values;
+
+  std::vector<std::vector<double>> meas(kTrinvVariantCount);
+  for (std::size_t bi = 0; bi < bs.size(); ++bi) {
+    const index_t b = bs[bi];
     std::vector<double> row;
     for (int v = 1; v <= kTrinvVariantCount; ++v) {
       const double mt = measure_trinv_ticks(backend, v, n, b, sc.reps);
@@ -35,9 +49,8 @@ int main() {
       row.push_back(trinv_efficiency(n, mt));
     }
     for (int v = 1; v <= kTrinvVariantCount; ++v) {
-      const double pt = pred.predict(trace_trinv(v, n, b)).ticks.median;
-      predicted[v - 1].push_back(pt);
-      row.push_back(trinv_efficiency(n, pt));
+      row.push_back(trinv_efficiency(
+          n, tuned[v - 1].predictions[bi].ticks.median));
     }
     print_row(static_cast<double>(b), row);
   }
@@ -45,7 +58,7 @@ int main() {
   print_comment("optimal block size, measured vs predicted:");
   for (int v = 0; v < kTrinvVariantCount; ++v) {
     const index_t mb = bs[rank_order(meas[v])[0]];
-    const index_t pb = bs[rank_order(predicted[v])[0]];
+    const index_t pb = tuned[v].best_value();
     print_comment("  variant " + std::to_string(v + 1) + ": measured b* = " +
                   std::to_string(mb) + ", predicted b* = " +
                   std::to_string(pb));

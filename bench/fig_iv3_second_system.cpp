@@ -1,7 +1,8 @@
 // Fig IV.3 -- trinv predictions and observations on a second system.
 // The paper moves from Harpertown to Sandy Bridge and regenerates all
-// models; we switch to the second backend configuration ("packed"), whose
-// performance signature differs the same way, and regenerate.
+// models; we point the same engine queries at the second backend
+// configuration ("packed"), whose performance signature differs the same
+// way, and the engine regenerates.
 //
 // Expected shape: the best variant may differ from system A's (on the
 // paper's Sandy Bridge, variant 1 overtakes variant 3), variant 4 stays
@@ -16,8 +17,11 @@ int main() {
   const Scales sc = current_scales();
   const std::string backend = system_b();
 
-  const RepositoryBackedPredictor pred =
-      trinv_predictor(backend, Locality::InCache, sc);
+  Engine& engine = shared_engine();
+  const SystemSpec system{backend, Locality::InCache};
+  require_ok(engine.prepare(
+      RankQuery::trinv_variants(sc.sweep_max, sc.blocksize).candidates,
+      system));
 
   print_comment("Fig IV.3: trinv on the second system (backend " + backend +
                 "), blocksize " + std::to_string(sc.blocksize));
@@ -28,19 +32,19 @@ int main() {
   index_t ranked_correctly = 0;
   index_t points = 0;
   for (index_t n = 96; n <= sc.sweep_max; n += step) {
-    std::vector<double> meas_ticks, pred_ticks, row;
+    RankQuery q = RankQuery::trinv_variants(n, sc.blocksize);
+    q.system = system;
+    const Ranking ranked = require_ok(engine.rank(q));
+    const std::vector<double> pred_ticks = ranked.median_ticks();
+
+    std::vector<double> meas_ticks, row;
     for (int v = 1; v <= kTrinvVariantCount; ++v) {
       const double mt =
           measure_trinv_ticks(backend, v, n, sc.blocksize, sc.reps);
       meas_ticks.push_back(mt);
       row.push_back(trinv_efficiency(n, mt));
     }
-    for (int v = 1; v <= kTrinvVariantCount; ++v) {
-      const double pt =
-          pred.predict(trace_trinv(v, n, sc.blocksize)).ticks.median;
-      pred_ticks.push_back(pt);
-      row.push_back(trinv_efficiency(n, pt));
-    }
+    for (double pt : pred_ticks) row.push_back(trinv_efficiency(n, pt));
     print_row(static_cast<double>(n), row);
     ++points;
     if (rank_order(pred_ticks) == rank_order(meas_ticks)) ++ranked_correctly;

@@ -1,7 +1,7 @@
 // Fig IV.4 -- trinv with multithreaded BLAS: predictions and observations
 // on all cores. The paper links against multithreaded OpenBLAS on 8
-// cores; we wrap the system-A backend in the thread-pool decorator and
-// regenerate all models from the threaded kernels.
+// cores; we point the engine at the thread-pool-decorated system-A
+// backend and it regenerates all models from the threaded kernels.
 //
 // NOTE: the reproduction host may expose a single hardware core; the
 // threaded code path is then exercised under oversubscription, which still
@@ -27,8 +27,11 @@ int main() {
   }
   const std::string backend = system_a() + "@" + std::to_string(threads);
 
-  const RepositoryBackedPredictor pred =
-      trinv_predictor(backend, Locality::InCache, sc);
+  Engine& engine = shared_engine();
+  const SystemSpec system{backend, Locality::InCache};
+  require_ok(engine.prepare(
+      RankQuery::trinv_variants(sc.sweep_max, sc.blocksize).candidates,
+      system));
 
   print_comment("Fig IV.4: trinv with multithreaded BLAS (" + backend +
                 ", hardware threads: " +
@@ -44,7 +47,12 @@ int main() {
   index_t points = 0;
   for (index_t n = 96; n <= sc.sweep_max; n += step) {
     sizes.push_back(n);
-    std::vector<double> meas_ticks, pred_ticks, row;
+    RankQuery q = RankQuery::trinv_variants(n, sc.blocksize);
+    q.system = system;
+    const std::vector<double> pred_ticks =
+        require_ok(engine.rank(q)).median_ticks();
+
+    std::vector<double> meas_ticks, row;
     for (int v = 1; v <= kTrinvVariantCount; ++v) {
       const double mt =
           measure_trinv_ticks(backend, v, n, sc.blocksize, sc.reps);
@@ -53,11 +61,8 @@ int main() {
       row.push_back(trinv_efficiency(n, mt));
     }
     for (int v = 1; v <= kTrinvVariantCount; ++v) {
-      const double pt =
-          pred.predict(trace_trinv(v, n, sc.blocksize)).ticks.median;
-      pred_ticks.push_back(pt);
-      pred_series[v - 1].push_back(pt);
-      row.push_back(trinv_efficiency(n, pt));
+      pred_series[v - 1].push_back(pred_ticks[v - 1]);
+      row.push_back(trinv_efficiency(n, pred_ticks[v - 1]));
     }
     print_row(static_cast<double>(n), row);
     ++points;

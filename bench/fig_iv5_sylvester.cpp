@@ -1,5 +1,6 @@
 // Fig IV.5 -- triangular Sylvester equation: predictions vs observations
 // for all 16 algorithmic variants (square problems, blocksize per scale).
+// Each size is one RankQuery over the sixteen schedules.
 //
 // Expected shape (paper): the variants fall into two performance groups
 // separated by a wide gap (the paper sees 4 variants near 20% efficiency
@@ -16,8 +17,11 @@ int main() {
   const std::string backend = system_a();
   const index_t b = sc.sylv_blocksize;
 
-  const RepositoryBackedPredictor pred =
-      sylv_predictor(backend, Locality::InCache, sc);
+  Engine& engine = shared_engine();
+  const SystemSpec system{backend, Locality::InCache};
+  require_ok(engine.prepare(
+      RankQuery::sylv_variants(sc.sylv_max, sc.sylv_max, b).candidates,
+      system));
 
   print_comment("Fig IV.5: sylv, 16 variants, blocksize " +
                 std::to_string(b) + ", backend " + backend);
@@ -33,17 +37,18 @@ int main() {
   const index_t step = sc.paper ? 128 : 96;
   std::vector<double> last_meas, last_pred;
   for (index_t n = 96; n <= sc.sylv_max; n += step) {
-    std::vector<double> meas_ticks, pred_ticks, row;
+    RankQuery q = RankQuery::sylv_variants(n, n, b);
+    q.system = system;
+    const std::vector<double> pred_ticks =
+        require_ok(engine.rank(q)).median_ticks();
+
+    std::vector<double> meas_ticks, row;
     for (int v = 1; v <= kSylvVariantCount; ++v) {
       const double mt = measure_sylv_ticks(backend, v, n, b, sc.reps);
       meas_ticks.push_back(mt);
       row.push_back(sylv_efficiency(n, mt));
     }
-    for (int v = 1; v <= kSylvVariantCount; ++v) {
-      const double pt = pred.predict(trace_sylv(v, n, n, b)).ticks.median;
-      pred_ticks.push_back(pt);
-      row.push_back(sylv_efficiency(n, pt));
-    }
+    for (double pt : pred_ticks) row.push_back(sylv_efficiency(n, pt));
     print_row(static_cast<double>(n), row);
     last_meas = meas_ticks;
     last_pred = pred_ticks;

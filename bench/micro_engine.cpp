@@ -1,0 +1,146 @@
+// micro_engine -- batched query throughput through the Engine facade:
+// sequential single-query calls vs one predict_many fan-out.
+//
+// A real query's wall clock is dominated by whatever sits behind it --
+// model evaluation is cheap, but queries arriving over a network or
+// triggering repository I/O wait. To benchmark the engine's *dispatch*
+// -- independently of how many cores the host exposes and without timing
+// noise -- each query carries a fixed latency via EngineConfig::query_hook
+// (the same trick ServiceConfig::measure_factory plays for generation
+// benchmarks). Model generation itself uses a deterministic synthetic
+// cost surface and is excluded from the timed region via prepare().
+//
+// Also cross-checks the batching contract: predict_many must return
+// results bit-identical to the same queries issued sequentially.
+//
+// Output: one row per worker count: wall ms for sequential and batched,
+// speedup, and the identity check; exits nonzero when 4 workers fail to
+// reach the 2x acceptance threshold.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "support/bench_util.hpp"
+
+namespace {
+
+using namespace dlap;
+namespace fs = std::filesystem;
+
+constexpr auto kQueryLatency = std::chrono::milliseconds(2);
+
+MeasureFn synthetic_measure(double offset) {
+  return [offset](const std::vector<index_t>& point) {
+    double cost = 100.0 + offset;
+    for (index_t x : point) {
+      const double v = static_cast<double>(x);
+      cost += 2.0 * v + 0.03 * v * v;
+    }
+    SampleStats s;
+    s.min = cost * 0.95;
+    s.median = cost;
+    s.mean = cost * 1.01;
+    s.max = cost * 1.10;
+    s.stddev = cost * 0.02;
+    s.count = 5;
+    return s;
+  };
+}
+
+EngineConfig config_for(const fs::path& dir, index_t workers) {
+  EngineConfig cfg;
+  cfg.service.repository_dir = dir;
+  cfg.service.workers = workers;
+  cfg.service.measure_factory = [](const ModelJob& job) {
+    double h = 0.0;
+    for (char c : ModelService::key_for(job).to_string()) {
+      h = 0.9 * h + static_cast<double>(c);
+    }
+    return synthetic_measure(h);
+  };
+  cfg.query_hook = [] { std::this_thread::sleep_for(kQueryLatency); };
+  return cfg;
+}
+
+std::vector<PredictQuery> benchmark_queries() {
+  std::vector<PredictQuery> queries;
+  for (int v = 1; v <= kTrinvVariantCount; ++v) {
+    for (index_t n : {64, 96, 128, 160}) {
+      for (index_t b : {16, 32}) {
+        queries.push_back(PredictQuery::of(OperationSpec::trinv(v, n, b)));
+      }
+    }
+  }
+  return queries;  // 4 * 4 * 2 = 32 queries over 7 distinct model keys
+}
+
+bool identical(const Prediction& a, const Prediction& b) {
+  return a.ticks.min == b.ticks.min && a.ticks.median == b.ticks.median &&
+         a.ticks.mean == b.ticks.mean && a.ticks.max == b.ticks.max &&
+         a.ticks.stddev == b.ticks.stddev && a.flops == b.flops &&
+         a.calls == b.calls && a.skipped == b.skipped &&
+         a.missing == b.missing;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dlap::bench;
+
+  print_comment("micro_engine: 32 typed queries, " +
+                std::to_string(kQueryLatency.count()) +
+                "ms latency-bound each: sequential loop vs one "
+                "predict_many batch");
+  print_header({"workers", "seq_ms", "batch_ms", "speedup", "identical"});
+
+  const std::vector<PredictQuery> queries = benchmark_queries();
+  bool all_identical = true;
+  double speedup_at_4 = 0.0;
+  for (dlap::index_t workers : {1, 2, 4, 8}) {
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("dlap_micro_engine_" + std::to_string(workers));
+    fs::remove_all(dir);
+    Engine engine(config_for(dir, workers));
+    // Generate the 7 models outside the timed region (one batch).
+    std::vector<OperationSpec> specs;
+    for (const PredictQuery& q : queries) specs.push_back(*q.spec);
+    require_ok(engine.prepare(specs));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<Result<Prediction>> sequential;
+    sequential.reserve(queries.size());
+    for (const PredictQuery& q : queries) {
+      sequential.push_back(engine.predict(q));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto batched = engine.predict_many(queries);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    bool ident = batched.size() == sequential.size();
+    for (std::size_t i = 0; ident && i < batched.size(); ++i) {
+      ident = identical(require_ok(sequential[i]), require_ok(batched[i]));
+    }
+    all_identical = all_identical && ident;
+
+    const double seq_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double batch_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    const double speedup = seq_ms / batch_ms;
+    if (workers == 4) speedup_at_4 = speedup;
+    print_row(static_cast<double>(workers),
+              {seq_ms, batch_ms, speedup, ident ? 1.0 : 0.0});
+    fs::remove_all(dir);
+  }
+
+  print_comment(all_identical
+                    ? "batched results bit-identical to sequential"
+                    : "IDENTITY VIOLATION: batched results differ");
+  const bool pass = all_identical && speedup_at_4 > 2.0;
+  print_comment("speedup at 4 workers: " + std::to_string(speedup_at_4) +
+                (pass ? " (PASS, > 2x)" : " (FAIL, need > 2x)"));
+  return pass ? 0 : 1;
+}

@@ -69,116 +69,26 @@ RefinementConfig paper_refinement_config() {
   return cfg;
 }
 
-ModelService& shared_service() {
-  static ModelService service([] {
-    ServiceConfig cfg;
-    cfg.repository_dir = env_string("DLAPERF_MODEL_DIR", "dlaperf_models");
-    cfg.workers = env_int("DLAPERF_WORKERS", 0);
-    cfg.refinement = paper_refinement_config();
-    cfg.verbose = true;
+Engine& shared_engine() {
+  static Engine engine([] {
+    EngineConfig cfg;
+    cfg.service.repository_dir =
+        env_string("DLAPERF_MODEL_DIR", "dlaperf_models");
+    cfg.service.workers = env_int("DLAPERF_WORKERS", 0);
+    cfg.service.refinement = paper_refinement_config();
+    cfg.service.verbose = true;
+    cfg.planning.fixed_ld = 2500;  // the paper fixes ld = 2500 throughout
+    cfg.planning.reps = current_scales().reps;
     return cfg;
   }());
-  return service;
+  return engine;
 }
 
-namespace {
-
-ModelingRequest base_request(RoutineId routine, std::vector<char> flags,
-                             Region domain, Locality locality,
-                             index_t reps) {
-  ModelingRequest req;
-  req.routine = routine;
-  req.flags = std::move(flags);
-  req.domain = std::move(domain);
-  req.fixed_ld = 2500;
-  req.sampler.locality = locality;
-  req.sampler.reps = reps;
-  return req;
-}
-
-ModelJob make_job(const std::string& backend, ModelingRequest request) {
-  ModelJob job;
-  job.request = std::move(request);
-  job.backend = backend;
-  return job;
-}
-
-// Generates all jobs through the shared service as one concurrent batch
-// and wraps them in a repository-backed predictor, each job registered as
-// an on-demand plan (a wiped repository regenerates lazily).
-RepositoryBackedPredictor family_predictor(const std::string& backend,
-                                           Locality locality,
-                                           std::vector<ModelJob> jobs) {
-  ModelService& service = shared_service();
-  (void)service.generate_all(jobs);
-  RepositoryBackedPredictor pred(service, backend, locality);
-  for (ModelJob& job : jobs) pred.plan(std::move(job.request));
-  return pred;
-}
-
-}  // namespace
-
-std::vector<ModelJob> trinv_jobs(const std::string& backend,
-                                 Locality locality, const Scales& sc) {
-  // Out-of-cache measurements fluctuate more; extra repetitions keep the
-  // median stable so refinement does not chase noise.
-  const index_t reps = sc.reps + (locality == Locality::OutOfCache ? 2 : 0);
-  const Region d1({8}, {sc.model_max_unb});
-  const Region d2({8, 8}, {sc.model_max_2d, sc.model_max_2d});
-  const Region d3({8, 8, 8},
-                  {sc.model_max_3d, sc.model_max_3d, sc.model_max_3d});
-  std::vector<ModelJob> jobs;
-  jobs.push_back(make_job(backend, base_request(RoutineId::Trmm,
-                                                {'R', 'L', 'N', 'N'}, d2,
-                                                locality, reps)));
-  jobs.push_back(make_job(backend, base_request(RoutineId::Trsm,
-                                                {'L', 'L', 'N', 'N'}, d2,
-                                                locality, reps)));
-  jobs.push_back(make_job(backend, base_request(RoutineId::Trsm,
-                                                {'R', 'L', 'N', 'N'}, d2,
-                                                locality, reps)));
-  jobs.push_back(make_job(backend, base_request(RoutineId::Gemm, {'N', 'N'},
-                                                d3, locality, reps)));
-  jobs.push_back(make_job(backend, base_request(RoutineId::Trinv1Unb, {},
-                                                d1, locality, reps)));
-  jobs.push_back(make_job(backend, base_request(RoutineId::Trinv2Unb, {},
-                                                d1, locality, reps)));
-  jobs.push_back(make_job(backend, base_request(RoutineId::Trinv3Unb, {},
-                                                d1, locality, reps)));
-  jobs.push_back(make_job(backend, base_request(RoutineId::Trinv4Unb, {},
-                                                d1, locality, reps)));
-  return jobs;
-}
-
-std::vector<ModelJob> sylv_jobs(const std::string& backend,
-                                Locality locality, const Scales& sc) {
-  const index_t reps = sc.reps + (locality == Locality::OutOfCache ? 2 : 0);
-  const Region d2({8, 8}, {sc.model_max_unb, sc.model_max_unb});
-  // Pull-style schedules accumulate gemms whose k grows to the full sweep
-  // size, so the gemm model must span the sylv sweep, not just the trinv
-  // one.
-  const index_t g3 = std::max(sc.model_max_3d, sc.sylv_max);
-  const Region d3({8, 8, 8}, {g3, g3, g3});
-  std::vector<ModelJob> jobs;
-  jobs.push_back(make_job(backend, base_request(RoutineId::Gemm, {'N', 'N'},
-                                                d3, locality, reps)));
-  jobs.push_back(make_job(backend, base_request(RoutineId::SylvUnb, {}, d2,
-                                                locality, reps)));
-  return jobs;
-}
-
-RepositoryBackedPredictor trinv_predictor(const std::string& backend,
-                                          Locality locality,
-                                          const Scales& scales) {
-  return family_predictor(backend, locality,
-                          trinv_jobs(backend, locality, scales));
-}
-
-RepositoryBackedPredictor sylv_predictor(const std::string& backend,
-                                         Locality locality,
-                                         const Scales& scales) {
-  return family_predictor(backend, locality,
-                          sylv_jobs(backend, locality, scales));
+void require_ok(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", status.to_string().c_str());
+    std::exit(1);
+  }
 }
 
 double measure_trinv_ticks(const std::string& backend, int variant,

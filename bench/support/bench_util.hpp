@@ -6,16 +6,19 @@
 // output can be fed straight to gnuplot/pandas. Two scales are supported:
 //   - default: CI-friendly domains (minutes for the whole suite),
 //   - DLAPERF_PAPER_SCALE=1: the paper's exact domains.
-// Model generation goes through one process-wide ModelService: generated
-// models land in an on-disk repository (DLAPERF_MODEL_DIR, default
-// ./dlaperf_models) keyed by routine/backend/locality/flags, so the
-// model-hungry benches share one generation pass; a batch of missing
-// models is generated concurrently (DLAPERF_WORKERS, default hardware
-// concurrency).
+// Model access goes through one process-wide Engine: queries derive their
+// modeling jobs automatically, generated models land in an on-disk
+// repository (DLAPERF_MODEL_DIR, default ./dlaperf_models) keyed by
+// routine/backend/locality/flags, so the model-hungry benches share one
+// generation pass; a batch of missing models is generated concurrently
+// (DLAPERF_WORKERS, default hardware concurrency).
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "api/engine.hpp"
 #include "algorithms/sylv.hpp"
 #include "algorithms/trinv.hpp"
 #include "blas/registry.hpp"
@@ -27,7 +30,6 @@
 #include "sampler/machine.hpp"
 #include "sampler/sampler.hpp"
 #include "service/model_service.hpp"
-#include "service/repository_predictor.hpp"
 
 namespace dlap::bench {
 
@@ -68,35 +70,42 @@ void print_header(const std::vector<std::string>& columns);
 void print_row(const std::vector<double>& values);
 void print_row(double x, const std::vector<double>& values);
 
-// ------------------------------------------------- model-service access
+// -------------------------------------------------------- engine access
 
 /// The Adaptive Refinement configuration the paper selects in III-D3
 /// (error bound 10%, minimum region size 32).
 [[nodiscard]] RefinementConfig paper_refinement_config();
 
-/// The process-wide model service every bench shares: repository at
+/// The process-wide engine every bench queries: repository at
 /// DLAPERF_MODEL_DIR, DLAPERF_WORKERS generation workers, the paper's
-/// refinement configuration.
-[[nodiscard]] ModelService& shared_service();
+/// refinement configuration and generation leading dimension (2500).
+/// Benches call Engine::prepare with their sweep's largest specs so the
+/// whole sweep's models are generated as one concurrent batch up front.
+[[nodiscard]] Engine& shared_engine();
 
-/// Modeling jobs for the kernels behind all four trinv variants:
-/// dtrmm(RLNN), dtrsm(LLNN), dtrsm(RLNN), dgemm(NN), trinv{1-4}_unb.
-[[nodiscard]] std::vector<ModelJob> trinv_jobs(const std::string& backend,
-                                               Locality locality,
-                                               const Scales& scales);
+/// Unwraps a Result or exits with the status on stderr (a bench has no
+/// recovery path for a failed query). The lvalue overload returns a
+/// reference into the Result; the rvalue overload moves the value out, so
+/// unwrapping a temporary (`require_ok(engine.rank(q))`) can never
+/// dangle.
+template <class T>
+const T& require_ok(const Result<T>& result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().to_string().c_str());
+    std::exit(1);
+  }
+  return *result;
+}
 
-/// Modeling jobs for the sylv variants: dgemm(NN) and sylv_unb.
-[[nodiscard]] std::vector<ModelJob> sylv_jobs(const std::string& backend,
-                                              Locality locality,
-                                              const Scales& scales);
+template <class T>
+T require_ok(Result<T>&& result) {
+  require_ok(static_cast<const Result<T>&>(result));
+  return std::move(*result);
+}
 
-/// Repository-backed predictor for the trinv (resp. sylv) variants, with
-/// the family's models generated up front as one concurrent batch and
-/// registered as on-demand plans.
-[[nodiscard]] RepositoryBackedPredictor trinv_predictor(
-    const std::string& backend, Locality locality, const Scales& scales);
-[[nodiscard]] RepositoryBackedPredictor sylv_predictor(
-    const std::string& backend, Locality locality, const Scales& scales);
+/// Exits with the status on stderr unless it is Ok (for Engine::prepare).
+void require_ok(const Status& status);
 
 // ----------------------------------------------------- direct execution
 

@@ -1,12 +1,13 @@
 // Quickstart: the 60-second tour of dlaperf.
 //
 //  1. measure a BLAS call with the Sampler,
-//  2. generate performance models through the ModelService (the whole
-//     sampler -> modeler -> repository pipeline as one engine; batches
-//     are generated concurrently),
-//  3. predict through the RepositoryBackedPredictor, which loads models
-//     lazily from the repository,
-//  4. compare a prediction at an unseen point to a fresh measurement.
+//  2. ask the Engine -- the typed, non-throwing query facade -- for a
+//     prediction of a call it has never seen: the engine derives the
+//     modeling jobs it needs, generates the models through its
+//     ModelService, and answers with a Result instead of throwing,
+//  3. fan a batch of typed queries out across the engine's thread pool
+//     with predict_many,
+//  4. compare the prediction from step 2 to a fresh measurement.
 //
 // Build & run:  ./build/examples/quickstart
 
@@ -14,10 +15,9 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "api/engine.hpp"
 #include "blas/registry.hpp"
 #include "sampler/sampler.hpp"
-#include "service/model_service.hpp"
-#include "service/repository_predictor.hpp"
 
 int main() {
   using namespace dlap;
@@ -29,60 +29,62 @@ int main() {
   scfg.locality = Locality::InCache;
   Sampler sampler(backend, scfg);
 
-  const std::string call = "dtrsm(L,L,N,N,128,128,1,A,256,B,256)";
-  const SampleStats stats = sampler.measure_text(call);
+  const std::string call = "dtrsm(L,L,N,N,144,112,1,A,256,B,256)";
+  const SampleStats observed = sampler.measure_text(call);
   std::printf("measured %s on '%s':\n", call.c_str(),
               backend.name().c_str());
   std::printf("  ticks: min %.0f  median %.0f  mean %.0f  max %.0f  "
               "stddev %.0f\n",
-              stats.min, stats.median, stats.mean, stats.max, stats.stddev);
+              observed.min, observed.median, observed.mean, observed.max,
+              observed.stddev);
 
-  // --- 2. Generate models as one service batch -------------------------
-  ServiceConfig cfg;
-  cfg.repository_dir =
+  // --- 2. Ask the engine -----------------------------------------------
+  // No job assembly: the engine plans the dtrsm model from the query
+  // itself (domain spanning the call, this leading dimension), generates
+  // it, stores it in the repository, and evaluates it.
+  EngineConfig cfg;
+  cfg.service.repository_dir =
       std::filesystem::temp_directory_path() / "dlaperf_quickstart";
-  cfg.refinement.base.error_bound = 0.10;  // the paper's epsilon (III-D3)
-  cfg.refinement.min_region_size = 32;     // s_min
-  ModelService service(cfg);
+  cfg.service.refinement.base.error_bound = 0.10;  // paper epsilon (III-D3)
+  cfg.service.refinement.min_region_size = 32;     // s_min
+  cfg.planning.fixed_ld = 256;  // match the measured call's leads
+  Engine engine(cfg);
 
-  ModelJob trsm;
-  trsm.backend = "blocked";
-  trsm.request.routine = RoutineId::Trsm;
-  trsm.request.flags = {'L', 'L', 'N', 'N'};
-  trsm.request.domain = Region({8, 8}, {192, 192});
-  trsm.request.fixed_ld = 256;
-  trsm.request.sampler = scfg;
-
-  ModelJob trmm = trsm;  // model a second kernel in the same batch
-  trmm.request.routine = RoutineId::Trmm;
-  trmm.request.flags = {'R', 'L', 'N', 'N'};
-
-  const auto models = service.generate_all({trsm, trmm});
-  for (const auto& m : models) {
-    std::printf("generated %s: %zu regions from %lld samples "
-                "(avg error %.1f%%)\n",
-                m->key.to_string().c_str(), m->model.pieces().size(),
-                static_cast<long long>(m->unique_samples),
-                100.0 * m->average_error);
+  const Result<SampleStats> predicted = engine.predict_call(call);
+  if (!predicted.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 predicted.status().to_string().c_str());
+    return 1;
   }
-  std::printf("repository: %s\n",
-              service.repository().directory().c_str());
+  std::printf("\nrepository: %s (%zu resolver keys interned)\n",
+              engine.service().repository().directory().c_str(),
+              engine.interned_keys());
 
-  // --- 3. Predict through the repository-backed predictor --------------
-  // No pre-assembled ModelSet: the predictor pulls models from the
-  // repository by key on first use.
-  RepositoryBackedPredictor pred(service, "blocked", Locality::InCache);
-  const KernelCall unseen =
-      parse_call("dtrsm(L,L,N,N,144,112,1,A,256,B,256)");
-  const SampleStats predicted = pred.predict_call(unseen);
+  // --- 3. Batched typed queries ----------------------------------------
+  // Predict a whole block-size sweep of blocked triangular inversion in
+  // one call; independent queries run concurrently on the engine's pool.
+  std::vector<PredictQuery> sweep;
+  for (index_t b = 32; b <= 128; b += 32) {
+    sweep.push_back(PredictQuery::of(OperationSpec::trinv(1, 192, b)));
+  }
+  const auto results = engine.predict_many(sweep);
+  std::printf("\ntrinv variant 1, n=192, predicted median ticks per b:\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "  query %zu failed: %s\n", i,
+                   results[i].status().to_string().c_str());
+      return 1;
+    }
+    std::printf("  b = %4lld : %12.0f\n",
+                static_cast<long long>(sweep[i].spec->blocksize),
+                results[i]->ticks.median);
+  }
 
-  // --- 4. ... and check against reality --------------------------------
-  const SampleStats observed =
-      sampler.measure_text("dtrsm(L,L,N,N,144,112,1,A,256,B,256)");
+  // --- 4. ... and check step 2 against reality -------------------------
   std::printf("\nat m=144, n=112: predicted median %.0f ticks, "
               "observed median %.0f ticks (error %.1f%%)\n",
-              predicted.median, observed.median,
-              100.0 * std::abs(predicted.median - observed.median) /
+              predicted->median, observed.median,
+              100.0 * std::abs(predicted->median - observed.median) /
                   observed.median);
   return 0;
 }

@@ -1,40 +1,27 @@
 // Ranking algorithmic variants without executing them (paper Section IV-A).
 //
-// Generates performance models for the kernels used by the four blocked
-// triangular-inversion variants, predicts each variant's runtime from its
-// call trace alone, then verifies the predicted ranking against actual
-// executions.
+// One RankQuery asks the engine to order the four blocked
+// triangular-inversion variants by predicted runtime; the engine derives
+// and generates the kernel models itself (one concurrent batch). The
+// predicted ranking is then verified against actual executions.
 //
 // Build & run:  ./build/examples/rank_trinv [n] [blocksize]
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/engine.hpp"
 #include "algorithms/trinv.hpp"
 #include "blas/registry.hpp"
 #include "common/matrix_util.hpp"
 #include "common/rng.hpp"
 #include "predict/ranking.hpp"
-#include "predict/trace.hpp"
 #include "sampler/machine.hpp"
 #include "sampler/ticks.hpp"
-#include "service/model_service.hpp"
-#include "service/repository_predictor.hpp"
 
 namespace {
 
 using namespace dlap;
-
-ModelJob job_for(RoutineId routine, std::vector<char> flags, Region domain) {
-  ModelJob job;
-  job.backend = "blocked";
-  job.request.routine = routine;
-  job.request.flags = std::move(flags);
-  job.request.domain = std::move(domain);
-  job.request.fixed_ld = 512;
-  job.request.sampler.reps = 3;
-  return job;
-}
 
 double run_trinv(Level3Backend& backend, int variant, index_t n,
                  index_t b) {
@@ -57,46 +44,38 @@ double run_trinv(Level3Backend& backend, int variant, index_t n,
 int main(int argc, char** argv) {
   const index_t n = (argc > 1) ? std::atoll(argv[1]) : 320;
   const index_t b = (argc > 2) ? std::atoll(argv[2]) : 64;
-  Level3Backend& backend = backend_instance("blocked");
 
-  ServiceConfig cfg;
-  cfg.repository_dir =
+  EngineConfig cfg;
+  cfg.service.repository_dir =
       std::filesystem::temp_directory_path() / "dlaperf_rank_trinv";
-  cfg.verbose = true;
-  ModelService service(cfg);
+  cfg.service.verbose = true;
+  Engine engine(cfg);
 
-  std::printf("generating kernel models (backend blocked, "
-              "%lld workers):\n",
-              static_cast<long long>(service.pool().worker_count()));
-  const Region d1({8}, {256});
-  const Region d2({8, 8}, {n, n});
-  const Region d3({8, 8, 8}, {n, n, n});
-  (void)service.generate_all(
-      {job_for(RoutineId::Trmm, {'R', 'L', 'N', 'N'}, d2),
-       job_for(RoutineId::Trsm, {'L', 'L', 'N', 'N'}, d2),
-       job_for(RoutineId::Trsm, {'R', 'L', 'N', 'N'}, d2),
-       job_for(RoutineId::Gemm, {'N', 'N'}, d3),
-       job_for(RoutineId::Trinv1Unb, {}, d1),
-       job_for(RoutineId::Trinv2Unb, {}, d1),
-       job_for(RoutineId::Trinv3Unb, {}, d1),
-       job_for(RoutineId::Trinv4Unb, {}, d1)});
+  std::printf("ranking trinv variants at n=%lld, b=%lld on %s "
+              "(%lld generation workers; no execution involved):\n",
+              static_cast<long long>(n), static_cast<long long>(b),
+              engine.config().system.to_string().c_str(),
+              static_cast<long long>(engine.service().pool().worker_count()));
+  const Result<Ranking> result =
+      engine.rank(RankQuery::trinv_variants(n, b));
+  if (!result.ok()) {
+    std::fprintf(stderr, "rank query failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  const Ranking& ranked = *result;
 
-  const RepositoryBackedPredictor pred(service, "blocked",
-                                       Locality::InCache);
-  std::printf("\npredicting trinv variants at n=%lld, b=%lld "
-              "(no execution involved):\n",
-              static_cast<long long>(n), static_cast<long long>(b));
-  std::vector<double> predicted, measured;
-  for (int v = 1; v <= kTrinvVariantCount; ++v) {
-    const Prediction p = pred.predict(trace_trinv(v, n, b));
-    predicted.push_back(p.ticks.median);
-    std::printf("  variant %d: predicted %12.0f ticks "
-                "(efficiency %.2f)\n",
-                v, p.ticks.median,
-                efficiency(trinv_flops(n), p.ticks.median));
+  std::vector<double> predicted = ranked.median_ticks();
+  for (std::size_t i = 0; i < ranked.candidates.size(); ++i) {
+    std::printf("  %s: predicted %12.0f ticks (efficiency %.2f)\n",
+                ranked.candidates[i].to_string().c_str(), predicted[i],
+                ranked.predictions[i].efficiency_median(
+                    ranked.candidates[i].nominal_flops()));
   }
 
   std::printf("\nverifying against actual executions:\n");
+  Level3Backend& backend = backend_instance("blocked");
+  std::vector<double> measured;
   for (int v = 1; v <= kTrinvVariantCount; ++v) {
     measured.push_back(run_trinv(backend, v, n, b));
     std::printf("  variant %d: measured  %12.0f ticks "
@@ -105,10 +84,11 @@ int main(int argc, char** argv) {
                 efficiency(trinv_flops(n), measured.back()));
   }
 
-  const auto po = rank_order(predicted);
   const auto mo = rank_order(measured);
   std::printf("\npredicted order: ");
-  for (index_t i : po) std::printf("v%lld ", static_cast<long long>(i + 1));
+  for (index_t i : ranked.order) {
+    std::printf("v%lld ", static_cast<long long>(i + 1));
+  }
   std::printf("\nmeasured order:  ");
   for (index_t i : mo) std::printf("v%lld ", static_cast<long long>(i + 1));
   std::printf("\nkendall tau: %.2f, best variant %s\n",

@@ -1,81 +1,60 @@
 // Tuning the algorithmic block size from models alone (paper IV-A2).
 //
-// For a chosen trinv variant and matrix size, evaluates the predicted
-// runtime over a range of block sizes, picks the best, and verifies the
-// choice by executing the real algorithm at several block sizes.
+// One TuneQuery sweeps the block size of a chosen trinv variant; the
+// engine derives the kernel models the sweep needs (the job assembly this
+// example used to do by hand), predicts every block size, and picks the
+// best. The choice is then verified by executing the real algorithm.
 //
 // Build & run:  ./build/examples/tune_blocksize [variant] [n]
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/engine.hpp"
 #include "algorithms/trinv.hpp"
 #include "blas/registry.hpp"
 #include "common/matrix_util.hpp"
 #include "common/rng.hpp"
 #include "predict/ranking.hpp"
-#include "predict/trace.hpp"
 #include "sampler/ticks.hpp"
-#include "service/model_service.hpp"
-#include "service/repository_predictor.hpp"
-
-namespace {
-
-using namespace dlap;
-
-ModelJob job_for(RoutineId routine, std::vector<char> flags, Region domain) {
-  ModelJob job;
-  job.backend = "blocked";
-  job.request.routine = routine;
-  job.request.flags = std::move(flags);
-  job.request.domain = std::move(domain);
-  job.request.fixed_ld = 512;
-  job.request.sampler.reps = 3;
-  return job;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace dlap;
   const int variant = (argc > 1) ? std::atoi(argv[1]) : 3;
   const index_t n = (argc > 2) ? std::atoll(argv[2]) : 320;
 
-  ServiceConfig cfg;
-  cfg.repository_dir =
+  EngineConfig cfg;
+  cfg.service.repository_dir =
       std::filesystem::temp_directory_path() / "dlaperf_tune_blocksize";
-  ModelService service(cfg);
+  Engine engine(cfg);
 
-  std::printf("modeling kernels for trinv variant %d (backend %s), "
-              "%lld generation workers...\n",
-              variant, "blocked",
-              static_cast<long long>(service.pool().worker_count()));
-  const Region d1({8}, {256});
-  const Region d2({8, 8}, {n, n});
-  const Region d3({8, 8, 8}, {n, n, n});
-  const std::vector<ModelJob> jobs{
-      job_for(RoutineId::Trmm, {'R', 'L', 'N', 'N'}, d2),
-      job_for(RoutineId::Trsm, {'L', 'L', 'N', 'N'}, d2),
-      job_for(RoutineId::Trsm, {'R', 'L', 'N', 'N'}, d2),
-      job_for(RoutineId::Gemm, {'N', 'N'}, d3),
-      job_for(static_cast<RoutineId>(
-                  static_cast<int>(RoutineId::Trinv1Unb) + variant - 1),
-              {}, d1)};
-  (void)service.generate_all(jobs);  // one concurrent batch
+  std::printf("tuning trinv variant %d at n=%lld on %s "
+              "(%lld generation workers)...\n",
+              variant, static_cast<long long>(n),
+              engine.config().system.to_string().c_str(),
+              static_cast<long long>(engine.service().pool().worker_count()));
 
-  const RepositoryBackedPredictor pred(service, "blocked",
-                                       Locality::InCache);
+  TuneQuery query;
+  query.spec = OperationSpec::trinv(variant, n, /*blocksize=*/16);
+  query.lo = 16;
+  query.hi = 160;
+  query.step = 16;
+  const Result<TuneResult> result = engine.tune(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "tune query failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  const TuneResult& tuned = *result;
 
   std::printf("\npredicted ticks per block size (n=%lld):\n",
               static_cast<long long>(n));
-  std::vector<index_t> bs;
-  std::vector<double> predicted;
-  for (index_t b = 16; b <= 160; b += 16) {
-    const double t = pred.predict(trace_trinv(variant, n, b)).ticks.median;
-    bs.push_back(b);
-    predicted.push_back(t);
-    std::printf("  b = %4lld : %12.0f\n", static_cast<long long>(b), t);
+  for (std::size_t i = 0; i < tuned.values.size(); ++i) {
+    std::printf("  b = %4lld : %12.0f\n",
+                static_cast<long long>(tuned.values[i]),
+                tuned.predictions[i].ticks.median);
   }
-  const index_t best_pred = bs[rank_order(predicted)[0]];
+  const index_t best_pred = tuned.best_value();
   std::printf("model says: use b = %lld\n",
               static_cast<long long>(best_pred));
 
@@ -86,7 +65,7 @@ int main(int argc, char** argv) {
   fill_lower_triangular(l.view(), rng);
   Matrix work(n, n);
   std::vector<double> measured;
-  for (index_t b : bs) {
+  for (index_t b : tuned.values) {
     copy_matrix(l.view(), work.view());
     trinv_blocked(ctx, variant, n, work.data(), n, b);  // warm-up
     copy_matrix(l.view(), work.view());
@@ -97,7 +76,7 @@ int main(int argc, char** argv) {
     std::printf("  b = %4lld : %12.0f\n", static_cast<long long>(b),
                 measured.back());
   }
-  const index_t best_meas = bs[rank_order(measured)[0]];
+  const index_t best_meas = tuned.values[rank_order(measured)[0]];
   std::printf("measurement says: b = %lld; model said b = %lld (%s)\n",
               static_cast<long long>(best_meas),
               static_cast<long long>(best_pred),

@@ -1,0 +1,434 @@
+#include "api/engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "predict/ranking.hpp"
+
+namespace dlap {
+
+namespace {
+
+// True while the current thread is executing an engine task on the
+// service's ThreadPool. Fanning out again from such a thread (nested
+// parallel_for_each / generate_all) can deadlock a saturated pool, so
+// pool-side work generates inline and runs batches sequentially instead.
+thread_local bool tls_on_engine_pool = false;
+
+struct PoolScope {
+  bool prev = tls_on_engine_pool;
+  PoolScope() { tls_on_engine_pool = true; }
+  ~PoolScope() { tls_on_engine_pool = prev; }
+};
+
+/// True when `model` exists and its domain covers `needed` (no constraint
+/// when the trace had no non-degenerate call for the key).
+bool covers_needed(const RoutineModel* model,
+                   const std::optional<Region>& needed) {
+  if (model == nullptr) return false;
+  if (!needed.has_value()) return true;
+  return model->model.domain().dims() == needed->dims() &&
+         model->model.domain().covers(*needed);
+}
+
+Status internal_error(const char* where, const std::exception& e) {
+  return Status::error(StatusCode::InternalError,
+                       std::string(where) + ": " + e.what());
+}
+
+}  // namespace
+
+Engine::Engine(EngineConfig config)
+    : config_(std::move(config)), service_(config_.service) {}
+
+Engine::~Engine() {
+  std::unique_lock<std::mutex> lock(pending_mutex_);
+  pending_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+template <class Fn>
+auto Engine::submit_tracked(Fn&& fn) -> std::future<decltype(fn())> {
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    ++pending_;
+  }
+  try {
+    return service_.pool().submit(
+        [this, fn = std::forward<Fn>(fn)]() -> decltype(fn()) {
+          struct Finish {
+            Engine* engine;
+            ~Finish() {
+              std::lock_guard<std::mutex> lock(engine->pending_mutex_);
+              if (--engine->pending_ == 0) engine->pending_cv_.notify_all();
+            }
+          } finish{this};
+          PoolScope scope;
+          return fn();
+        });
+  } catch (...) {
+    // Enqueue failed: no task will ever run the Finish guard, so roll the
+    // count back or ~Engine waits forever.
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    if (--pending_ == 0) pending_cv_.notify_all();
+    throw;
+  }
+}
+
+Status Engine::resolve(const std::vector<const CallTrace*>& traces,
+                       const SystemSpec& system, Resolution* out) noexcept {
+  try {
+    // --- Intern every call; gather the per-key parameter range needed. --
+    struct Need {
+      ModelKey key;
+      std::optional<Region> needed;  // bounding box of non-degenerate calls
+      std::vector<index_t> lo, hi;
+    };
+    std::map<int, Need> needs;
+    out->ids.resize(traces.size());
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      out->ids[t].clear();
+      out->ids[t].reserve(traces[t]->size());
+      for (const KernelCall& call : *traces[t]) {
+        ModelKey key{std::string(routine_name(call.routine)), system.backend,
+                     system.locality, call.flag_key()};
+        const int id = interner_.intern(key);
+        out->ids[t].push_back(id);
+        Need& need = needs[id];
+        if (need.key.routine.empty()) need.key = std::move(key);
+        if (call_is_degenerate(call)) continue;  // clamp-evaluated if predicted
+        if (need.lo.empty()) {
+          need.lo = call.sizes;
+          need.hi = call.sizes;
+        } else {
+          for (std::size_t d = 0; d < need.lo.size(); ++d) {
+            need.lo[d] = std::min(need.lo[d], call.sizes[d]);
+            need.hi[d] = std::max(need.hi[d], call.sizes[d]);
+          }
+        }
+      }
+    }
+    for (auto& [id, need] : needs) {
+      if (!need.lo.empty()) need.needed = Region(need.lo, need.hi);
+    }
+
+    // --- Phase A: satisfy from the engine cache, then the repository. ---
+    std::map<int, std::shared_ptr<const RoutineModel>> resolved;
+    {
+      std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+      for (const auto& [id, need] : needs) {
+        if (static_cast<std::size_t>(id) < cache_.size() &&
+            covers_needed(cache_[static_cast<std::size_t>(id)].get(),
+                          need.needed)) {
+          resolved[id] = cache_[static_cast<std::size_t>(id)];
+        }
+      }
+    }
+    struct PendingGen {
+      int id;
+      ModelJob job;
+    };
+    std::vector<PendingGen> to_generate;
+    std::vector<ModelJob> planned;
+    bool planned_built = false;
+    for (const auto& [id, need] : needs) {
+      if (resolved.count(id) != 0) continue;
+      std::shared_ptr<const RoutineModel> stored = service_.find(need.key);
+      if (covers_needed(stored.get(), need.needed)) {
+        resolved[id] = std::move(stored);
+        continue;
+      }
+      if (!need.needed.has_value()) {
+        // Only degenerate calls reference this key, so no domain can be
+        // planned for it. With skip_empty_calls the predict loop never
+        // consults the entry; without it the missing model must surface
+        // as a status, not a silent zero contribution.
+        if (!config_.prediction.skip_empty_calls) {
+          return Status::error(
+              StatusCode::MissingModel,
+              "no model for " + need.key.to_string() +
+                  " and only zero-size calls reference it, so none can "
+                  "be planned (skip_empty_calls is off)");
+        }
+        continue;
+      }
+      if (!config_.generate_missing) {
+        if (stored == nullptr) {
+          return Status::error(StatusCode::MissingModel,
+                               "no model for " + need.key.to_string() +
+                                   " and on-demand generation is disabled");
+        }
+        return Status::error(
+            StatusCode::UncoveredDomain,
+            "stored model " + need.key.to_string() + " covers " +
+                stored->model.domain().to_string() + " but the query needs " +
+                need.needed->to_string() +
+                " and on-demand generation is disabled");
+      }
+      if (!planned_built) {
+        planned = plan_jobs(traces, system, config_.planning);
+        planned_built = true;
+      }
+      const auto it = std::find_if(
+          planned.begin(), planned.end(), [&need = need](const ModelJob& j) {
+            return ModelService::key_for(j) == need.key;
+          });
+      if (it == planned.end()) {
+        return Status::error(StatusCode::InternalError,
+                             "planner produced no job for " +
+                                 need.key.to_string());
+      }
+      ModelJob job = *it;
+      if (stored != nullptr &&
+          stored->model.domain().dims() == job.request.domain.dims()) {
+        // Grow the stored domain instead of replacing it, so queries with
+        // disjoint parameter ranges do not regenerate back and forth.
+        job.request.domain =
+            region_union(job.request.domain, stored->model.domain());
+      }
+      to_generate.push_back({id, std::move(job)});
+    }
+
+    // --- Phase B: generate what is missing. One concurrent batch when on
+    // the caller's thread; inline when already on a pool worker (nested
+    // fan-out could deadlock a saturated pool). -------------------------
+    if (!to_generate.empty()) {
+      if (!tls_on_engine_pool) {
+        std::vector<ModelJob> jobs;
+        jobs.reserve(to_generate.size());
+        for (const PendingGen& p : to_generate) jobs.push_back(p.job);
+        try {
+          const auto models = service_.generate_all(jobs);
+          for (std::size_t i = 0; i < to_generate.size(); ++i) {
+            resolved[to_generate[i].id] = models[i];
+          }
+        } catch (const std::exception& e) {
+          return Status::error(StatusCode::GenerationFailed, e.what());
+        }
+      } else {
+        for (const PendingGen& p : to_generate) {
+          std::string error;
+          auto model = service_.try_get_or_generate(p.job, &error);
+          if (model == nullptr) {
+            return Status::error(StatusCode::GenerationFailed,
+                                 needs[p.id].key.to_string() + ": " + error);
+          }
+          resolved[p.id] = std::move(model);
+        }
+      }
+    }
+
+    // --- Phase C: verify coverage, build the flat table, warm the cache.
+    out->table.assign(interner_.size(), nullptr);
+    out->pins.clear();
+    for (const auto& [id, need] : needs) {
+      const auto it = resolved.find(id);
+      if (it == resolved.end()) continue;  // degenerate-only key, no model
+      if (!covers_needed(it->second.get(), need.needed)) {
+        return Status::error(
+            StatusCode::UncoveredDomain,
+            "model " + need.key.to_string() + " covers " +
+                it->second->model.domain().to_string() +
+                " but the query needs " + need.needed->to_string());
+      }
+      out->table[static_cast<std::size_t>(id)] = it->second.get();
+      out->pins.push_back(it->second);
+    }
+    {
+      std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+      if (cache_.size() < out->table.size()) cache_.resize(out->table.size());
+      for (const auto& [id, model] : resolved) {
+        auto& slot = cache_[static_cast<std::size_t>(id)];
+        // Entries only ever widen: a concurrent resolve that satisfied a
+        // narrower query from the repository must not shrink a wider
+        // cached model.
+        if (slot == nullptr ||
+            (model->model.domain().dims() == slot->model.domain().dims() &&
+             model->model.domain().covers(slot->model.domain()))) {
+          slot = model;
+        }
+      }
+    }
+    return {};
+  } catch (const std::exception& e) {
+    return internal_error("Engine::resolve", e);
+  }
+}
+
+Result<Prediction> Engine::predict_trace(const CallTrace& trace,
+                                         const SystemSpec& system) noexcept {
+  try {
+    Resolution res;
+    if (Status s = resolve({&trace}, system, &res); !s.ok()) return s;
+    if (config_.query_hook) config_.query_hook();
+    return predict_with_table(trace, res.ids[0], res.table,
+                              config_.prediction);
+  } catch (const std::exception& e) {
+    return internal_error("Engine::predict", e);
+  }
+}
+
+Result<Prediction> Engine::predict(const PredictQuery& query) noexcept {
+  try {
+    const SystemSpec system = effective_system(query.system);
+    if (query.spec.has_value()) {
+      if (Status s = query.spec->validate(); !s.ok()) return s;
+      return predict_trace(query.spec->trace(), system);
+    }
+    return predict_trace(query.trace, system);
+  } catch (const std::exception& e) {
+    return internal_error("Engine::predict", e);
+  }
+}
+
+Result<Ranking> Engine::rank(const RankQuery& query) noexcept {
+  try {
+    if (query.candidates.empty()) {
+      return Status::error(StatusCode::InvalidQuery,
+                           "rank: empty candidate set");
+    }
+    const SystemSpec system = effective_system(query.system);
+    std::vector<CallTrace> traces;
+    traces.reserve(query.candidates.size());
+    for (const OperationSpec& spec : query.candidates) {
+      if (Status s = spec.validate(); !s.ok()) return s;
+      traces.push_back(spec.trace());
+    }
+    std::vector<const CallTrace*> ptrs;
+    ptrs.reserve(traces.size());
+    for (const CallTrace& t : traces) ptrs.push_back(&t);
+
+    Resolution res;
+    if (Status s = resolve(ptrs, system, &res); !s.ok()) return s;
+
+    Ranking out;
+    out.candidates = query.candidates;
+    out.predictions.reserve(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      out.predictions.push_back(predict_with_table(
+          traces[i], res.ids[i], res.table, config_.prediction));
+    }
+    out.order = rank_order(out.median_ticks());
+    return out;
+  } catch (const std::exception& e) {
+    return internal_error("Engine::rank", e);
+  }
+}
+
+Result<TuneResult> Engine::tune(const TuneQuery& query) noexcept {
+  try {
+    if (query.lo < 1 || query.step < 1 || query.hi < query.lo) {
+      return Status::error(StatusCode::InvalidQuery,
+                           "tune: sweep must satisfy 1 <= lo <= hi, "
+                           "step >= 1");
+    }
+    const SystemSpec system = effective_system(query.system);
+    TuneResult out;
+    std::vector<CallTrace> traces;
+    for (index_t b = query.lo; b <= query.hi; b += query.step) {
+      OperationSpec spec = query.spec;
+      spec.blocksize = b;
+      if (Status s = spec.validate(); !s.ok()) return s;
+      out.values.push_back(b);
+      traces.push_back(spec.trace());
+    }
+    std::vector<const CallTrace*> ptrs;
+    ptrs.reserve(traces.size());
+    for (const CallTrace& t : traces) ptrs.push_back(&t);
+
+    Resolution res;
+    if (Status s = resolve(ptrs, system, &res); !s.ok()) return s;
+
+    out.predictions.reserve(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      out.predictions.push_back(predict_with_table(
+          traces[i], res.ids[i], res.table, config_.prediction));
+    }
+    out.best_index = static_cast<index_t>(rank_order(out.median_ticks())[0]);
+    return out;
+  } catch (const std::exception& e) {
+    return internal_error("Engine::tune", e);
+  }
+}
+
+Result<SampleStats> Engine::predict_call(
+    const std::string& call_text, std::optional<SystemSpec> system) noexcept {
+  try {
+    KernelCall call;
+    try {
+      call = parse_call(call_text);
+      validate_call(call);
+    } catch (const parse_error& e) {
+      return Status::error(StatusCode::ParseError, e.what());
+    } catch (const invalid_argument_error& e) {
+      return Status::error(StatusCode::InvalidQuery, e.what());
+    }
+    const CallTrace trace{call};
+    Result<Prediction> p = predict_trace(trace, effective_system(system));
+    if (!p.ok()) return p.status();
+    return p->ticks;
+  } catch (const std::exception& e) {
+    return internal_error("Engine::predict_call", e);
+  }
+}
+
+std::vector<Result<Prediction>> Engine::predict_many(
+    const std::vector<PredictQuery>& queries) {
+  std::vector<Result<Prediction>> results(
+      queries.size(),
+      Result<Prediction>(
+          Status::error(StatusCode::InternalError, "query not executed")));
+  if (queries.empty()) return results;
+  if (tls_on_engine_pool) {
+    // Already on a pool worker (e.g. a submitted task batching further
+    // queries): fanning out again could deadlock; stay sequential.
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      results[i] = predict(queries[i]);
+    }
+    return results;
+  }
+  service_.pool().parallel_for_each(
+      static_cast<index_t>(queries.size()), [&](index_t i) {
+        PoolScope scope;
+        results[static_cast<std::size_t>(i)] =
+            predict(queries[static_cast<std::size_t>(i)]);
+      });
+  return results;
+}
+
+std::future<Result<Prediction>> Engine::submit(PredictQuery query) {
+  return submit_tracked(
+      [this, query = std::move(query)] { return predict(query); });
+}
+
+std::future<Result<Ranking>> Engine::submit(RankQuery query) {
+  return submit_tracked(
+      [this, query = std::move(query)] { return rank(query); });
+}
+
+std::future<Result<TuneResult>> Engine::submit(TuneQuery query) {
+  return submit_tracked(
+      [this, query = std::move(query)] { return tune(query); });
+}
+
+Status Engine::prepare(const std::vector<OperationSpec>& specs,
+                       std::optional<SystemSpec> system) noexcept {
+  try {
+    const SystemSpec sys = effective_system(system);
+    std::vector<CallTrace> traces;
+    traces.reserve(specs.size());
+    for (const OperationSpec& spec : specs) {
+      if (Status s = spec.validate(); !s.ok()) return s;
+      traces.push_back(spec.trace());
+    }
+    std::vector<const CallTrace*> ptrs;
+    ptrs.reserve(traces.size());
+    for (const CallTrace& t : traces) ptrs.push_back(&t);
+    Resolution res;
+    return resolve(ptrs, sys, &res);
+  } catch (const std::exception& e) {
+    return internal_error("Engine::prepare", e);
+  }
+}
+
+}  // namespace dlap

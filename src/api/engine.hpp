@@ -1,0 +1,179 @@
+#pragma once
+// dlap::Engine -- the user-facing facade of the library: a long-lived
+// prediction engine answering typed queries (predict / rank / tune), the
+// way Peise's dissertation frames the model repository as a service
+// consulted by many decision runs.
+//
+// What the facade adds over wiring the pipeline by hand:
+//   - typed queries: callers say *what they want decided* (an operation
+//     spec, a candidate set, a swept parameter); the engine derives the
+//     modeling jobs (api/plan.hpp) and generates missing models on demand
+//     through its ModelService;
+//   - non-throwing answers: every entry point returns Result<T>
+//     (api/result.hpp) -- a failed query reports a status instead of
+//     unwinding the caller;
+//   - batched and async entry points: predict_many fans independent
+//     queries out across the service's ThreadPool; submit returns a
+//     std::future;
+//   - an interned resolver fast path: (routine, backend, locality, flags)
+//     keys are interned to dense ids (api/intern.hpp) and models cached in
+//     a flat table, so the per-call predict loop is array indexing
+//     (predict_with_table) instead of string-keyed map lookups under a
+//     mutex.
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "api/intern.hpp"
+#include "api/plan.hpp"
+#include "api/query.hpp"
+#include "api/result.hpp"
+#include "service/model_service.hpp"
+
+namespace dlap {
+
+struct EngineConfig {
+  /// The owned ModelService (repository directory, generation workers,
+  /// refinement strategy, measurement hook).
+  ServiceConfig service;
+  /// Default system for queries that do not name one.
+  SystemSpec system;
+  /// How modeling jobs are derived from query traces.
+  PlanningPolicy planning;
+  /// Generate models a query needs but the repository lacks (or only
+  /// covers too small a domain for). When false such queries fail with
+  /// MissingModel / UncoveredDomain instead.
+  bool generate_missing = true;
+  /// Prediction accumulation options. `strict` is ignored: the engine
+  /// reports missing models through Result statuses, never exceptions.
+  PredictionOptions prediction;
+  /// Test/bench hook: invoked once per predict-query evaluation, after
+  /// model resolution and before the accumulation loop. Lets throughput
+  /// benches make queries latency-bound to measure dispatch overlap
+  /// independently of the host's core count (the same trick
+  /// ServiceConfig::measure_factory plays for generation). Production
+  /// leaves it empty.
+  std::function<void()> query_hook;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+
+  /// Blocks until every outstanding submit()ted query has finished:
+  /// dropping a future is legal, so the engine must not die under a
+  /// still-queued task.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] const EngineConfig& config() const noexcept {
+    return config_;
+  }
+  /// The underlying pipeline, for callers that need the low-level surface.
+  [[nodiscard]] ModelService& service() noexcept { return service_; }
+
+  // ------------------------------------------------ synchronous queries
+
+  /// Predicted runtime of one operation (or raw trace).
+  [[nodiscard]] Result<Prediction> predict(const PredictQuery& query) noexcept;
+
+  /// Candidate operations ordered by predicted runtime, with the full
+  /// per-candidate predictions.
+  [[nodiscard]] Result<Ranking> rank(const RankQuery& query) noexcept;
+
+  /// Block-size sweep of one operation; picks the predicted-fastest value.
+  [[nodiscard]] Result<TuneResult> tune(const TuneQuery& query) noexcept;
+
+  /// Prediction for a single call given in the paper's textual tuple form,
+  /// e.g. "dtrsm(L,L,N,N,144,112,1,A,256,B,256)". Malformed text yields
+  /// ParseError / InvalidQuery statuses, never exceptions.
+  [[nodiscard]] Result<SampleStats> predict_call(
+      const std::string& call_text,
+      std::optional<SystemSpec> system = {}) noexcept;
+
+  // --------------------------------------------------- batched / async
+
+  /// Evaluates independent queries concurrently across the service pool;
+  /// results come back in query order. Each query fails or succeeds on
+  /// its own.
+  [[nodiscard]] std::vector<Result<Prediction>> predict_many(
+      const std::vector<PredictQuery>& queries);
+
+  /// Asynchronous single queries on the service pool.
+  [[nodiscard]] std::future<Result<Prediction>> submit(PredictQuery query);
+  [[nodiscard]] std::future<Result<Ranking>> submit(RankQuery query);
+  [[nodiscard]] std::future<Result<TuneResult>> submit(TuneQuery query);
+
+  // ----------------------------------------------------------- warm-up
+
+  /// Generates every model the specs need (union of their traces) as one
+  /// concurrent batch and warms the resolver cache -- call before a query
+  /// sweep so no query pays generation latency.
+  [[nodiscard]] Status prepare(const std::vector<OperationSpec>& specs,
+                               std::optional<SystemSpec> system = {}) noexcept;
+
+  /// Resolver keys interned so far (observability).
+  [[nodiscard]] std::size_t interned_keys() const { return interner_.size(); }
+
+ private:
+  /// Per-resolution view: call-aligned interned ids per trace plus the
+  /// dense id -> model table the hot loop indexes. `pins` keeps the table
+  /// entries alive for the view's lifetime.
+  struct Resolution {
+    std::vector<std::vector<int>> ids;
+    std::vector<const RoutineModel*> table;
+    std::vector<std::shared_ptr<const RoutineModel>> pins;
+  };
+
+  [[nodiscard]] SystemSpec effective_system(
+      const std::optional<SystemSpec>& override_spec) const {
+    return override_spec.value_or(config_.system);
+  }
+
+  /// Interns every call of every trace, fills the id -> model table
+  /// (engine cache -> repository -> on-demand generation), and verifies
+  /// the models cover the traces' parameter points.
+  [[nodiscard]] Status resolve(const std::vector<const CallTrace*>& traces,
+                               const SystemSpec& system,
+                               Resolution* out) noexcept;
+
+  [[nodiscard]] Result<Prediction> predict_trace(
+      const CallTrace& trace, const SystemSpec& system) noexcept;
+
+  /// Wraps a submitted task: counts it as pending until it finishes, so
+  /// the destructor can wait for the pool to drain dropped futures.
+  template <class Fn>
+  [[nodiscard]] auto submit_tracked(Fn&& fn)
+      -> std::future<decltype(fn())>;
+
+  EngineConfig config_;
+  KeyInterner interner_;
+
+  // Model cache indexed by interned id; entries only ever widen (a model
+  // is replaced by one covering a larger domain). Readers snapshot under
+  // the shared lock and pin entries via shared_ptr, so the predict loop
+  // itself runs lock-free on its local table.
+  mutable std::shared_mutex cache_mutex_;
+  std::vector<std::shared_ptr<const RoutineModel>> cache_;
+
+  // Outstanding submit() tasks; ~Engine waits for zero.
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  index_t pending_ = 0;
+
+  // Declared last, so it is destroyed FIRST: the service's ThreadPool
+  // drains still-queued submit() tasks during destruction, and those
+  // tasks touch every member above -- which must outlive the drain.
+  ModelService service_;
+};
+
+}  // namespace dlap

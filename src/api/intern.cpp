@@ -1,0 +1,31 @@
+#include "api/intern.hpp"
+
+#include <mutex>
+
+namespace dlap {
+
+int KeyInterner::intern(const ModelKey& key) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  const auto [it, inserted] =
+      ids_.emplace(key, static_cast<int>(ids_.size()));
+  (void)inserted;  // a racing intern of the same key wins identically
+  return it->second;
+}
+
+int KeyInterner::find(const ModelKey& key) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = ids_.find(key);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+std::size_t KeyInterner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return ids_.size();
+}
+
+}  // namespace dlap

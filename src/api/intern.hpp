@@ -1,0 +1,33 @@
+#pragma once
+// Resolver-key interning: maps full model identities (routine, backend,
+// locality, flags) to dense integer ids assigned in first-seen order. Ids
+// never change once assigned, so flat arrays indexed by id replace
+// string-keyed map lookups on the predict hot path -- the engine resolves
+// a trace's keys to ids once, then the per-call loop is pure array
+// indexing (predict_with_table in predict/predictor.hpp).
+
+#include <map>
+#include <shared_mutex>
+
+#include "modeler/modeler.hpp"
+
+namespace dlap {
+
+class KeyInterner {
+ public:
+  /// Returns the key's id, assigning the next dense id on first sight.
+  /// Thread-safe; ids are stable for the interner's lifetime.
+  [[nodiscard]] int intern(const ModelKey& key);
+
+  /// The key's id, or -1 when it has never been interned.
+  [[nodiscard]] int find(const ModelKey& key) const;
+
+  /// Number of ids assigned so far (ids are 0 .. size()-1).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<ModelKey, int> ids_;
+};
+
+}  // namespace dlap

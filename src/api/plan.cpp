@@ -1,0 +1,79 @@
+#include "api/plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace dlap {
+
+Region region_union(const Region& a, const Region& b) {
+  DLAP_REQUIRE(a.dims() == b.dims(), "region_union: dimension mismatch");
+  std::vector<index_t> lo(a.lo()), hi(a.hi());
+  for (int d = 0; d < a.dims(); ++d) {
+    lo[static_cast<std::size_t>(d)] = std::min(a.lo(d), b.lo(d));
+    hi[static_cast<std::size_t>(d)] = std::max(a.hi(d), b.hi(d));
+  }
+  return Region(std::move(lo), std::move(hi));
+}
+
+std::vector<ModelJob> plan_jobs(const std::vector<const CallTrace*>& traces,
+                                const SystemSpec& system,
+                                const PlanningPolicy& policy) {
+  // Per distinct (routine, flags): the per-dimension size range the calls
+  // span across all traces.
+  struct SizeRange {
+    std::vector<index_t> min, max;
+  };
+  std::map<std::pair<RoutineId, std::string>, SizeRange> ranges;
+  for (const CallTrace* trace : traces) {
+    for (const KernelCall& call : *trace) {
+      if (call_is_degenerate(call)) continue;
+      auto& range = ranges[{call.routine, call.flag_key()}];
+      if (range.min.empty()) {
+        range.min = call.sizes;
+        range.max = call.sizes;
+        continue;
+      }
+      DLAP_REQUIRE(range.min.size() == call.sizes.size(),
+                   "plan_jobs: inconsistent call arity");
+      for (std::size_t d = 0; d < range.min.size(); ++d) {
+        range.min[d] = std::min(range.min[d], call.sizes[d]);
+        range.max[d] = std::max(range.max[d], call.sizes[d]);
+      }
+    }
+  }
+
+  std::vector<ModelJob> jobs;
+  jobs.reserve(ranges.size());
+  for (const auto& [key, range] : ranges) {
+    ModelJob job;
+    job.backend = system.backend;
+    job.request.routine = key.first;
+    job.request.flags.assign(key.second.begin(), key.second.end());
+    job.request.fixed_ld = policy.fixed_ld;
+    job.request.sampler.locality = system.locality;
+    job.request.sampler.reps =
+        policy.reps + (system.locality == Locality::OutOfCache
+                           ? policy.out_of_cache_extra_reps
+                           : 0);
+    std::vector<index_t> lo(range.min.size());
+    std::vector<index_t> hi(range.max.size());
+    for (std::size_t d = 0; d < range.min.size(); ++d) {
+      // The domain must contain every traced point, so the bounds widen
+      // beyond the policy's defaults when calls fall outside them.
+      lo[d] = std::min(policy.domain_lo, range.min[d]);
+      hi[d] = std::max(range.max[d], policy.min_domain_hi);
+    }
+    job.request.domain = Region(std::move(lo), std::move(hi));
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<ModelJob> plan_jobs(const CallTrace& trace,
+                                const SystemSpec& system,
+                                const PlanningPolicy& policy) {
+  return plan_jobs(std::vector<const CallTrace*>{&trace}, system, policy);
+}
+
+}  // namespace dlap

@@ -1,0 +1,50 @@
+#pragma once
+// Spec -> job planning: derive the modeling jobs a query needs from its
+// call trace(s), instead of making callers assemble ModelJob fields by
+// hand. One job per distinct (routine, flags) pair the traces invoke, the
+// domain spanning the union of the calls' size arguments -- exactly what
+// examples/tune_blocksize.cpp used to wire manually.
+
+#include <string>
+#include <vector>
+
+#include "api/query.hpp"
+#include "predict/trace.hpp"
+#include "service/model_service.hpp"
+
+namespace dlap {
+
+/// Knobs of the derivation; engine-wide, not per query.
+struct PlanningPolicy {
+  /// Domain lower bound per size dimension (the paper samples from 8).
+  index_t domain_lo = 8;
+  /// Domain upper bound floor, so one tiny trace still yields a model
+  /// usable for neighboring queries.
+  index_t min_domain_hi = 64;
+  /// Leading dimension fixed throughout generation (the paper uses 2500).
+  index_t fixed_ld = 512;
+  /// Sampler repetitions per measured point.
+  index_t reps = 3;
+  /// Out-of-cache measurements fluctuate more; extra repetitions keep the
+  /// refinement from chasing noise.
+  index_t out_of_cache_extra_reps = 2;
+};
+
+/// Jobs covering every kernel the traces invoke on `system`: one per
+/// distinct (routine, flags), domain [domain_lo, max size seen] per
+/// dimension (floored at min_domain_hi). Calls with any zero size are
+/// ignored (they are skipped at prediction time too).
+[[nodiscard]] std::vector<ModelJob> plan_jobs(
+    const std::vector<const CallTrace*>& traces, const SystemSpec& system,
+    const PlanningPolicy& policy);
+
+[[nodiscard]] std::vector<ModelJob> plan_jobs(const CallTrace& trace,
+                                              const SystemSpec& system,
+                                              const PlanningPolicy& policy);
+
+/// Bounding box of two same-dimensional regions. Used to grow a stored
+/// model's domain instead of replacing it when a new query needs points
+/// outside it (prevents regeneration ping-pong between disjoint domains).
+[[nodiscard]] Region region_union(const Region& a, const Region& b);
+
+}  // namespace dlap

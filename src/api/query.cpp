@@ -1,0 +1,113 @@
+#include "api/query.hpp"
+
+#include "algorithms/sylv.hpp"
+#include "algorithms/trinv.hpp"
+#include "predict/ranking.hpp"
+
+namespace dlap {
+
+std::string SystemSpec::to_string() const {
+  return backend + "/" + locality_name(locality);
+}
+
+OperationSpec OperationSpec::trinv(int variant, index_t n,
+                                   index_t blocksize) {
+  OperationSpec spec;
+  spec.kind = Kind::Trinv;
+  spec.variant = variant;
+  spec.n = n;
+  spec.blocksize = blocksize;
+  return spec;
+}
+
+OperationSpec OperationSpec::sylv(int variant, index_t m, index_t n,
+                                  index_t blocksize) {
+  OperationSpec spec;
+  spec.kind = Kind::Sylv;
+  spec.variant = variant;
+  spec.m = m;
+  spec.n = n;
+  spec.blocksize = blocksize;
+  return spec;
+}
+
+Status OperationSpec::validate() const {
+  const int max_variant =
+      kind == Kind::Trinv ? kTrinvVariantCount : kSylvVariantCount;
+  if (variant < 1 || variant > max_variant) {
+    return Status::error(StatusCode::InvalidQuery,
+                         to_string() + ": variant must be in [1, " +
+                             std::to_string(max_variant) + "]");
+  }
+  if (n < 1 || (kind == Kind::Sylv && m < 1)) {
+    return Status::error(StatusCode::InvalidQuery,
+                         to_string() + ": sizes must be >= 1");
+  }
+  if (blocksize < 1) {
+    return Status::error(StatusCode::InvalidQuery,
+                         to_string() + ": blocksize must be >= 1");
+  }
+  return {};
+}
+
+CallTrace OperationSpec::trace() const {
+  return kind == Kind::Trinv ? trace_trinv(variant, n, blocksize)
+                             : trace_sylv(variant, m, n, blocksize);
+}
+
+double OperationSpec::nominal_flops() const {
+  return kind == Kind::Trinv ? trinv_flops(n) : sylv_flops(m, n);
+}
+
+std::string OperationSpec::to_string() const {
+  std::string out = kind == Kind::Trinv ? "trinv" : "sylv";
+  out += " v" + std::to_string(variant);
+  if (kind == Kind::Sylv) out += " m=" + std::to_string(m);
+  out += " n=" + std::to_string(n);
+  out += " b=" + std::to_string(blocksize);
+  return out;
+}
+
+PredictQuery PredictQuery::of(OperationSpec spec) {
+  PredictQuery q;
+  q.spec = spec;
+  return q;
+}
+
+PredictQuery PredictQuery::of(CallTrace trace) {
+  PredictQuery q;
+  q.trace = std::move(trace);
+  return q;
+}
+
+RankQuery RankQuery::trinv_variants(index_t n, index_t blocksize) {
+  RankQuery q;
+  for (int v = 1; v <= kTrinvVariantCount; ++v) {
+    q.candidates.push_back(OperationSpec::trinv(v, n, blocksize));
+  }
+  return q;
+}
+
+RankQuery RankQuery::sylv_variants(index_t m, index_t n, index_t blocksize) {
+  RankQuery q;
+  for (int v = 1; v <= kSylvVariantCount; ++v) {
+    q.candidates.push_back(OperationSpec::sylv(v, m, n, blocksize));
+  }
+  return q;
+}
+
+std::vector<double> Ranking::median_ticks() const {
+  std::vector<double> out;
+  out.reserve(predictions.size());
+  for (const Prediction& p : predictions) out.push_back(p.ticks.median);
+  return out;
+}
+
+std::vector<double> TuneResult::median_ticks() const {
+  std::vector<double> out;
+  out.reserve(predictions.size());
+  for (const Prediction& p : predictions) out.push_back(p.ticks.median);
+  return out;
+}
+
+}  // namespace dlap

@@ -1,0 +1,120 @@
+#pragma once
+// Typed queries: callers describe *what they want decided* and the engine
+// derives the modeling work. Three query shapes cover the paper's three
+// decision services (Section IV):
+//   PredictQuery -- how long will this operation (or raw call trace) take?
+//   RankQuery    -- which of these candidate operations is fastest?
+//                   (ranking variants, IV-A1 / IV-B)
+//   TuneQuery    -- which value of a swept parameter is best?
+//                   (block-size optimization, IV-A2)
+// Each query may name the "system" (backend + memory locality) it asks
+// about; unset, the engine's configured default applies.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/result.hpp"
+#include "predict/predictor.hpp"
+#include "predict/trace.hpp"
+#include "sampler/locality.hpp"
+
+namespace dlap {
+
+/// The paper's "fixed implementation and memory locality situation": which
+/// backend's models answer the query, generated under which locality.
+struct SystemSpec {
+  std::string backend = "blocked";
+  Locality locality = Locality::InCache;
+
+  [[nodiscard]] bool operator==(const SystemSpec&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A blocked operation the engine knows how to trace: the decision targets
+/// of the paper (triangular inversion variants 1-4, triangular Sylvester
+/// schedules 1-16).
+struct OperationSpec {
+  enum class Kind { Trinv, Sylv };
+
+  Kind kind = Kind::Trinv;
+  int variant = 1;
+  index_t m = 0;  ///< rows (Sylv only; Trinv uses n alone)
+  index_t n = 0;
+  index_t blocksize = 64;
+
+  [[nodiscard]] static OperationSpec trinv(int variant, index_t n,
+                                           index_t blocksize);
+  [[nodiscard]] static OperationSpec sylv(int variant, index_t m, index_t n,
+                                          index_t blocksize);
+
+  /// Ok when variant/sizes/blocksize form a traceable operation.
+  [[nodiscard]] Status validate() const;
+
+  /// The operation's exact invocation sequence (requires validate().ok()).
+  [[nodiscard]] CallTrace trace() const;
+
+  /// Nominal flop count of the operation (the paper's efficiency formulas
+  /// use this, not the trace sum).
+  [[nodiscard]] double nominal_flops() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One prediction: either an operation spec (the engine traces it) or a
+/// raw CallTrace supplied by the caller.
+struct PredictQuery {
+  std::optional<OperationSpec> spec;
+  CallTrace trace;  ///< used when `spec` is empty
+  std::optional<SystemSpec> system;
+
+  [[nodiscard]] static PredictQuery of(OperationSpec spec);
+  [[nodiscard]] static PredictQuery of(CallTrace trace);
+};
+
+/// Rank a set of candidate operations by predicted runtime.
+struct RankQuery {
+  std::vector<OperationSpec> candidates;
+  std::optional<SystemSpec> system;
+
+  /// All four trinv variants at (n, blocksize).
+  [[nodiscard]] static RankQuery trinv_variants(index_t n, index_t blocksize);
+  /// All sixteen sylv schedules at (m, n, blocksize).
+  [[nodiscard]] static RankQuery sylv_variants(index_t m, index_t n,
+                                               index_t blocksize);
+};
+
+/// Sweep the operation's block size over {lo, lo+step, ...} <= hi and pick
+/// the predicted-fastest value (the spec's own blocksize is ignored).
+struct TuneQuery {
+  OperationSpec spec;
+  index_t lo = 16;
+  index_t hi = 160;
+  index_t step = 16;
+  std::optional<SystemSpec> system;
+};
+
+/// Answer to a RankQuery: the full prediction per candidate plus the
+/// derived ordering (fastest first, by median ticks).
+struct Ranking {
+  std::vector<OperationSpec> candidates;  ///< echo of the query
+  std::vector<Prediction> predictions;    ///< one per candidate, in order
+  std::vector<index_t> order;             ///< candidate indices, fastest first
+
+  /// Index of the predicted-fastest candidate.
+  [[nodiscard]] index_t best() const { return order.front(); }
+  /// Median predicted ticks per candidate (candidate order).
+  [[nodiscard]] std::vector<double> median_ticks() const;
+};
+
+/// Answer to a TuneQuery: predictions over the sweep plus the argmin.
+struct TuneResult {
+  std::vector<index_t> values;          ///< swept parameter values
+  std::vector<Prediction> predictions;  ///< one per value, in order
+  index_t best_index = 0;
+
+  [[nodiscard]] index_t best_value() const { return values[best_index]; }
+  [[nodiscard]] std::vector<double> median_ticks() const;
+};
+
+}  // namespace dlap

@@ -1,0 +1,28 @@
+#include "api/result.hpp"
+
+namespace dlap {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::Ok: return "OK";
+    case StatusCode::InvalidQuery: return "INVALID_QUERY";
+    case StatusCode::ParseError: return "PARSE_ERROR";
+    case StatusCode::MissingModel: return "MISSING_MODEL";
+    case StatusCode::UncoveredDomain: return "UNCOVERED_DOMAIN";
+    case StatusCode::GenerationFailed: return "GENERATION_FAILED";
+    case StatusCode::InternalError: return "INTERNAL_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string out = status_code_name(code);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace dlap

@@ -1,0 +1,96 @@
+#pragma once
+// Non-throwing outcome types for the query API.
+//
+// The engine answers every query with a Result<T>: either a value or a
+// Status describing why no value could be produced (missing model,
+// uncovered domain, malformed call text, ...). This is the
+// std::expected-style surface the facade presents instead of the
+// exception-based contracts of the lower layers -- a long-lived engine
+// serving many queries must be able to fail one query without unwinding
+// the caller.
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace dlap {
+
+enum class StatusCode : int {
+  Ok = 0,
+  /// The query itself is malformed (bad variant number, nonpositive
+  /// sizes, empty candidate set, reversed sweep bounds).
+  InvalidQuery,
+  /// Textual call input could not be parsed.
+  ParseError,
+  /// No model exists for a (routine, flags) pair the query needs and
+  /// on-demand generation is disabled.
+  MissingModel,
+  /// A stored model exists but its domain does not cover the query's
+  /// parameter points, and on-demand generation is disabled.
+  UncoveredDomain,
+  /// On-demand model generation was attempted and failed.
+  GenerationFailed,
+  /// Unexpected failure inside the engine (bug or environment error).
+  InternalError,
+};
+
+[[nodiscard]] const char* status_code_name(StatusCode code);
+
+/// Outcome of an engine operation: a code plus a human-readable
+/// diagnostic. Default-constructed Status is Ok.
+struct Status {
+  StatusCode code = StatusCode::Ok;
+  std::string message;
+
+  [[nodiscard]] bool ok() const noexcept { return code == StatusCode::Ok; }
+
+  /// "UNCOVERED_DOMAIN: dgemm 'NN' needs [8,512]^3 ..." (or "OK").
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] static Status error(StatusCode code, std::string message) {
+    return Status{code, std::move(message)};
+  }
+};
+
+/// Either a T or the Status explaining its absence. Accessing value() on
+/// an error result is a programming error (DLAP_REQUIRE).
+template <class T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    DLAP_REQUIRE(!status_.ok(), "Result: Ok status carries no value");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] explicit operator bool() const noexcept { return ok(); }
+
+  /// Ok when the result holds a value.
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] const T& value() const {
+    DLAP_REQUIRE(ok(), "Result::value on error: " + status_.to_string());
+    return *value_;
+  }
+  [[nodiscard]] T& value() {
+    DLAP_REQUIRE(ok(), "Result::value on error: " + status_.to_string());
+    return *value_;
+  }
+
+  [[nodiscard]] const T& operator*() const { return value(); }
+  [[nodiscard]] T& operator*() { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // Ok iff value_ holds
+};
+
+}  // namespace dlap

@@ -7,6 +7,53 @@
 
 namespace dlap {
 
+namespace {
+
+/// The one accumulation loop every predict path shares. `resolve(call, i)`
+/// returns the model for trace[i] (nullptr = missing); `on_missing(call)`
+/// runs for every missed call (it may throw -- strict mode -- or record
+/// the key). Keeping a single loop guarantees the string-keyed and the
+/// interned paths produce bit-identical results.
+template <class ResolveFn, class MissFn>
+Prediction accumulate_trace(const CallTrace& trace,
+                            const PredictionOptions& options,
+                            ResolveFn&& resolve, MissFn&& on_missing) {
+  Prediction out;
+  double var_sum = 0.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const KernelCall& call = trace[i];
+    if (options.skip_empty_calls && call_is_degenerate(call)) {
+      ++out.skipped;
+      continue;
+    }
+    const RoutineModel* m = resolve(call, i);
+    if (m == nullptr) {
+      ++out.missing;
+      on_missing(call);
+      continue;
+    }
+    const SampleStats est = m->model.evaluate(call.sizes);
+    out.ticks.min += est.min;
+    out.ticks.median += est.median;
+    out.ticks.mean += est.mean;
+    out.ticks.max += est.max;
+    var_sum += est.stddev * est.stddev;
+    out.flops += call_flops(call);
+    ++out.calls;
+  }
+  out.ticks.stddev = std::sqrt(var_sum);
+  out.ticks.count = out.calls;
+  return out;
+}
+
+[[noreturn]] void throw_missing(const KernelCall& call) {
+  throw lookup_error(std::string("no model for ") +
+                     routine_name(call.routine) + " flags '" +
+                     call.flag_key() + "'");
+}
+
+}  // namespace
+
 void ModelSet::add(RoutineModel model) {
   add(std::make_shared<const RoutineModel>(std::move(model)));
 }
@@ -24,7 +71,13 @@ const RoutineModel* ModelSet::find(const std::string& routine,
 }
 
 double Prediction::efficiency_median(double total_flops) const {
-  if (ticks.median <= 0.0) return 0.0;
+  // Defined everywhere: empty/all-skipped traces (median 0), zero-flop
+  // formulas and NaN inputs all yield 0 instead of propagating NaN or
+  // tripping efficiency()'s nonpositive-ticks requirement.
+  if (!(ticks.median > 0.0) || !(total_flops > 0.0) ||
+      !std::isfinite(total_flops)) {
+    return 0.0;
+  }
   return efficiency(total_flops, ticks.median);
 }
 
@@ -43,47 +96,55 @@ Predictor::Predictor(ModelResolver resolver, PredictionOptions options)
 SampleStats Predictor::predict_call(const KernelCall& call) const {
   const RoutineModel* m =
       resolve_(routine_name(call.routine), call.flag_key());
-  if (m == nullptr) {
-    throw lookup_error(std::string("no model for ") +
-                       routine_name(call.routine) + " flags '" +
-                       call.flag_key() + "'");
-  }
+  if (m == nullptr) throw_missing(call);
   return m->model.evaluate(call.sizes);
 }
 
 Prediction Predictor::predict(const CallTrace& trace) const {
-  Prediction out;
-  double var_sum = 0.0;
-  for (const KernelCall& call : trace) {
-    if (options_.skip_empty_calls &&
-        std::any_of(call.sizes.begin(), call.sizes.end(),
-                    [](index_t s) { return s == 0; })) {
-      ++out.skipped;
-      continue;
-    }
-    const RoutineModel* m =
-        resolve_(routine_name(call.routine), call.flag_key());
-    if (m == nullptr) {
-      if (options_.strict) {
-        throw lookup_error(std::string("no model for ") +
-                           routine_name(call.routine) + " flags '" +
-                           call.flag_key() + "'");
-      }
-      ++out.missing;
-      continue;
-    }
-    const SampleStats est = m->model.evaluate(call.sizes);
-    out.ticks.min += est.min;
-    out.ticks.median += est.median;
-    out.ticks.mean += est.mean;
-    out.ticks.max += est.max;
-    var_sum += est.stddev * est.stddev;
-    out.flops += call_flops(call);
-    ++out.calls;
-  }
-  out.ticks.stddev = std::sqrt(var_sum);
-  out.ticks.count = out.calls;
-  return out;
+  return accumulate_trace(
+      trace, options_,
+      [this](const KernelCall& call, std::size_t) {
+        return resolve_(routine_name(call.routine), call.flag_key());
+      },
+      [this](const KernelCall& call) {
+        if (options_.strict) throw_missing(call);
+      });
+}
+
+PredictReport Predictor::predict_report(const CallTrace& trace) const {
+  PredictReport report;
+  report.prediction = accumulate_trace(
+      trace, options_,
+      [this](const KernelCall& call, std::size_t) {
+        return resolve_(routine_name(call.routine), call.flag_key());
+      },
+      [&report](const KernelCall& call) {
+        auto key = std::make_pair(std::string(routine_name(call.routine)),
+                                  call.flag_key());
+        if (std::find(report.missing_keys.begin(), report.missing_keys.end(),
+                      key) == report.missing_keys.end()) {
+          report.missing_keys.push_back(std::move(key));
+        }
+      });
+  return report;
+}
+
+Prediction predict_with_table(const CallTrace& trace,
+                              const std::vector<int>& ids,
+                              const std::vector<const RoutineModel*>& models,
+                              const PredictionOptions& options) {
+  DLAP_REQUIRE(ids.size() == trace.size(),
+               "predict_with_table: one id per traced call");
+  return accumulate_trace(
+      trace, options,
+      [&](const KernelCall&, std::size_t i) -> const RoutineModel* {
+        const int id = ids[i];
+        if (id < 0 || static_cast<std::size_t>(id) >= models.size()) {
+          return nullptr;
+        }
+        return models[static_cast<std::size_t>(id)];
+      },
+      [](const KernelCall&) {});
 }
 
 }  // namespace dlap

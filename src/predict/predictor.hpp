@@ -8,6 +8,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "modeler/modeler.hpp"
 #include "predict/trace.hpp"
@@ -59,9 +61,23 @@ struct Prediction {
   index_t skipped = 0;  ///< degenerate (zero-work) calls
   index_t missing = 0;  ///< calls without a model (non-strict mode)
 
-  /// Efficiency estimates for a given total flop count (callers often use
+  /// Efficiency estimate for a given total flop count (callers often use
   /// the operation's nominal flop formula rather than the trace sum).
+  /// Defined for every input: returns 0 when total_flops is nonpositive or
+  /// non-finite, and for empty or all-skipped traces (median 0) -- never
+  /// NaN.
   [[nodiscard]] double efficiency_median(double total_flops) const;
+};
+
+/// Outcome of a non-throwing prediction: the accumulated prediction plus
+/// the distinct (routine, flags) pairs that had no model, in first-miss
+/// order. Prediction::missing counts every affected call; missing_keys
+/// names each key once.
+struct PredictReport {
+  Prediction prediction;
+  std::vector<std::pair<std::string, std::string>> missing_keys;
+
+  [[nodiscard]] bool complete() const { return missing_keys.empty(); }
 };
 
 /// Where a Predictor gets its models: maps (routine name, flag values) to
@@ -83,6 +99,11 @@ class Predictor {
 
   [[nodiscard]] Prediction predict(const CallTrace& trace) const;
 
+  /// Non-throwing core: like predict() with strict = false regardless of
+  /// options, but additionally reports which keys were missing so callers
+  /// can diagnose (the engine turns these into MissingModel statuses).
+  [[nodiscard]] PredictReport predict_report(const CallTrace& trace) const;
+
   /// Convenience: prediction for a single call.
   [[nodiscard]] SampleStats predict_call(const KernelCall& call) const;
 
@@ -90,5 +111,17 @@ class Predictor {
   ModelResolver resolve_;
   PredictionOptions options_;
 };
+
+/// Hot-path prediction over pre-resolved models: models[ids[i]] is the
+/// model for trace[i] (ids.size() == trace.size(); negative or
+/// out-of-range ids and nullptr entries count as missing, never throw).
+/// The loop performs no resolver calls, no string construction and no
+/// locking -- only array indexing -- and accumulates in exactly the same
+/// order and arithmetic as Predictor::predict, so results are
+/// bit-identical to the string-keyed path.
+[[nodiscard]] Prediction predict_with_table(
+    const CallTrace& trace, const std::vector<int>& ids,
+    const std::vector<const RoutineModel*>& models,
+    const PredictionOptions& options = {});
 
 }  // namespace dlap

@@ -18,7 +18,7 @@ std::vector<index_t> rank_order(const std::vector<double>& values) {
 double kendall_tau(const std::vector<double>& a,
                    const std::vector<double>& b) {
   DLAP_REQUIRE(a.size() == b.size(), "kendall_tau: size mismatch");
-  DLAP_REQUIRE(a.size() >= 2, "kendall_tau: need at least two entries");
+  if (a.size() < 2) return 0.0;  // no pairs: defined as "no correlation"
   const index_t n = static_cast<index_t>(a.size());
   index_t concordant = 0;
   index_t discordant = 0;
@@ -46,8 +46,8 @@ bool same_winner(const std::vector<double>& a, const std::vector<double>& b) {
 double topk_overlap(const std::vector<double>& estimate,
                     const std::vector<double>& truth, index_t k) {
   DLAP_REQUIRE(estimate.size() == truth.size(), "topk: size mismatch");
-  DLAP_REQUIRE(k >= 1 && k <= static_cast<index_t>(truth.size()),
-               "topk: bad k");
+  k = std::clamp<index_t>(k, 0, static_cast<index_t>(truth.size()));
+  if (k == 0) return 1.0;  // the empty top set overlaps vacuously
   const auto re = rank_order(estimate);
   const auto rt = rank_order(truth);
   index_t hits = 0;
@@ -76,7 +76,8 @@ std::vector<index_t> crossovers(const std::vector<double>& a,
 }
 
 std::vector<index_t> fast_group(const std::vector<double>& ticks) {
-  DLAP_REQUIRE(ticks.size() >= 2, "fast_group: need at least two entries");
+  if (ticks.empty()) return {};
+  if (ticks.size() == 1) return {0};  // a lone entry is its own fast group
   const auto order = rank_order(ticks);
   // Largest relative jump between consecutive sorted values marks the
   // boundary between the fast and the slow group.

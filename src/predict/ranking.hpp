@@ -17,7 +17,9 @@ namespace dlap {
     const std::vector<double>& values);
 
 /// Kendall rank correlation coefficient tau-a between two score vectors
-/// (+1: identical order, -1: reversed). Requires >= 2 entries.
+/// (+1: identical order, -1: reversed). Sizes must match; with fewer than
+/// two entries there are no pairs to compare and the result is defined as
+/// 0 (no evidence of correlation, rather than NaN or an exception).
 [[nodiscard]] double kendall_tau(const std::vector<double>& a,
                                  const std::vector<double>& b);
 
@@ -26,7 +28,9 @@ namespace dlap {
                                const std::vector<double>& b);
 
 /// Fraction of the k best entries of `truth` that are also among the k
-/// best of `estimate` (top-k overlap / k).
+/// best of `estimate` (top-k overlap / k). Sizes must match; k is clamped
+/// to [0, size], and k == 0 (including empty inputs) is defined as 1 --
+/// the empty top set overlaps vacuously.
 [[nodiscard]] double topk_overlap(const std::vector<double>& estimate,
                                   const std::vector<double>& truth,
                                   index_t k);
@@ -38,7 +42,9 @@ namespace dlap {
 
 /// Splits values into a "fast" and a "slow" group at the largest relative
 /// gap of the sorted values; returns the indices of the fast group. Used
-/// for the Sylvester experiment's two performance groups.
+/// for the Sylvester experiment's two performance groups. Degenerate
+/// inputs have defined results: empty -> empty, a single entry -> {0}
+/// (the only entry is trivially the fast group).
 [[nodiscard]] std::vector<index_t> fast_group(
     const std::vector<double>& ticks);
 

@@ -79,6 +79,11 @@ const std::vector<ArgKind>& routine_signature(RoutineId id) {
   return meta(id).signature;
 }
 
+bool call_is_degenerate(const KernelCall& call) {
+  return std::any_of(call.sizes.begin(), call.sizes.end(),
+                     [](index_t s) { return s == 0; });
+}
+
 void validate_call(const KernelCall& c) {
   DLAP_REQUIRE(static_cast<int>(c.routine) >= 0 &&
                    static_cast<int>(c.routine) < kRoutineCount,

@@ -161,6 +161,18 @@ ModelService::generate_all_sequential(const std::vector<ModelJob>& jobs) {
   return out;
 }
 
+std::shared_ptr<const RoutineModel> ModelService::try_get_or_generate(
+    const ModelJob& job, std::string* error) noexcept {
+  try {
+    return get_or_generate(job);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+  } catch (...) {
+    if (error != nullptr) *error = "unknown error";
+  }
+  return nullptr;
+}
+
 std::shared_ptr<const RoutineModel> ModelService::get_or_generate(
     const ModelJob& job) {
   const ModelKey key = key_for(job);

@@ -98,6 +98,12 @@ class ModelService {
   [[nodiscard]] std::shared_ptr<const RoutineModel> get_or_generate(
       const ModelJob& job);
 
+  /// Exception-free get_or_generate for callers that propagate errors as
+  /// values (the Engine facade): returns nullptr on failure and, when
+  /// `error` is non-null, stores the failure description there.
+  [[nodiscard]] std::shared_ptr<const RoutineModel> try_get_or_generate(
+      const ModelJob& job, std::string* error) noexcept;
+
   /// Repository lookup only; nullptr when the key has never been modeled.
   /// Unlike ModelRepository::find, a stored file that fails to parse is
   /// treated as missing (with a warning) rather than fatal, so a corrupt
@@ -120,12 +126,16 @@ class ModelService {
   ServiceConfig config_;
   ModelRepository repo_;
   SampleStore samples_;
-  ThreadPool pool_;
 
   // Keys currently being generated; late arrivals wait on the future
   // instead of duplicating the work.
   std::mutex inflight_mutex_;
   std::map<ModelKey, ModelFuture> inflight_;
+
+  // Declared last, so it is destroyed FIRST: the pool drains still-queued
+  // tasks during destruction, and those tasks may touch every member
+  // above.
+  ThreadPool pool_;
 };
 
 }  // namespace dlap

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "algorithms/sylv.hpp"
 #include "algorithms/trinv.hpp"
@@ -232,6 +234,81 @@ TEST(Predictor, PredictCallEvaluatesSingleModel) {
                lookup_error);
 }
 
+TEST(Predictor, PredictReportNamesMissingKeysWithoutThrowing) {
+  ModelSet set;
+  set.add(constant_model("dtrmm", "RLNN", 2, 10.0));  // trsm/unb missing
+  const Predictor pred(set);  // strict by default; report must not throw
+  const PredictReport report = pred.predict_report(trace_trinv(1, 250, 100));
+  EXPECT_FALSE(report.complete());
+  // Two distinct keys miss (dtrsm LLNN, trinv1_unb), several calls each.
+  ASSERT_EQ(report.missing_keys.size(), 2u);
+  EXPECT_GT(report.prediction.missing, 2);
+  EXPECT_EQ(report.prediction.calls, 2);  // the two covered trmm calls
+  const auto key = std::make_pair(std::string("dtrsm"), std::string("LLNN"));
+  EXPECT_NE(std::find(report.missing_keys.begin(), report.missing_keys.end(),
+                      key),
+            report.missing_keys.end());
+}
+
+TEST(Predictor, TablePathBitIdenticalToStringPath) {
+  const ModelSet set = trinv_v1_models(11.5, 23.25, 5.75);
+  const Predictor pred(set);
+  const CallTrace trace = trace_trinv(1, 250, 100);
+  const Prediction via_strings = pred.predict(trace);
+
+  // Build the dense-table view by hand: intern each call's key.
+  std::vector<const RoutineModel*> table;
+  std::vector<std::pair<std::string, std::string>> keys;
+  std::vector<int> ids;
+  for (const KernelCall& call : trace) {
+    const auto key = std::make_pair(std::string(routine_name(call.routine)),
+                                    call.flag_key());
+    const auto it = std::find(keys.begin(), keys.end(), key);
+    if (it == keys.end()) {
+      keys.push_back(key);
+      table.push_back(set.find(key.first, key.second));
+      ids.push_back(static_cast<int>(keys.size()) - 1);
+    } else {
+      ids.push_back(static_cast<int>(it - keys.begin()));
+    }
+  }
+  const Prediction via_table = predict_with_table(trace, ids, table);
+  EXPECT_EQ(via_table.ticks.min, via_strings.ticks.min);
+  EXPECT_EQ(via_table.ticks.median, via_strings.ticks.median);
+  EXPECT_EQ(via_table.ticks.mean, via_strings.ticks.mean);
+  EXPECT_EQ(via_table.ticks.max, via_strings.ticks.max);
+  EXPECT_EQ(via_table.ticks.stddev, via_strings.ticks.stddev);
+  EXPECT_EQ(via_table.flops, via_strings.flops);
+  EXPECT_EQ(via_table.calls, via_strings.calls);
+  EXPECT_EQ(via_table.skipped, via_strings.skipped);
+  EXPECT_EQ(via_table.missing, via_strings.missing);
+}
+
+TEST(Predictor, TablePathCountsUnresolvedIdsAsMissing) {
+  const CallTrace trace = trace_trinv(1, 128, 64);
+  const std::vector<int> ids(trace.size(), -1);
+  const Prediction p = predict_with_table(trace, ids, {});
+  EXPECT_EQ(p.calls, 0);
+  EXPECT_GT(p.missing, 0);
+  EXPECT_THROW(
+      (void)predict_with_table(trace, std::vector<int>(2, 0), {}),
+      invalid_argument_error);  // id/trace length mismatch
+}
+
+TEST(Predictor, EfficiencyMedianDefinedOnDegenerateInputs) {
+  Prediction p;  // empty trace: median 0, calls 0
+  EXPECT_EQ(p.calls, 0);
+  EXPECT_DOUBLE_EQ(p.efficiency_median(1e9), 0.0);
+  p.ticks.median = 1000.0;
+  EXPECT_DOUBLE_EQ(p.efficiency_median(0.0), 0.0);   // zero flops
+  EXPECT_DOUBLE_EQ(p.efficiency_median(-5.0), 0.0);  // negative flops
+  EXPECT_DOUBLE_EQ(
+      p.efficiency_median(std::numeric_limits<double>::quiet_NaN()), 0.0);
+  EXPECT_DOUBLE_EQ(
+      p.efficiency_median(std::numeric_limits<double>::infinity()), 0.0);
+  EXPECT_GT(p.efficiency_median(1e9), 0.0);  // sane inputs still work
+}
+
 TEST(Predictor, ModelSetFindIsFlagSensitive) {
   ModelSet set;
   set.add(constant_model("dtrsm", "LLNN", 2, 1.0));
@@ -282,6 +359,60 @@ TEST(Ranking, FastGroupSplitsAtLargestGap) {
   const std::vector<double> ticks{200.0, 10.0, 12.0, 300.0, 11.0, 9.0};
   const auto fast = fast_group(ticks);
   EXPECT_EQ(fast, (std::vector<index_t>{1, 2, 4, 5}));
+}
+
+// Documented edge-case behavior: degenerate inputs yield defined values
+// instead of exceptions or NaN.
+
+TEST(Ranking, KendallTauDefinedBelowTwoEntries) {
+  EXPECT_DOUBLE_EQ(kendall_tau({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(kendall_tau({3.0}, {7.0}), 0.0);
+  // Size mismatch stays a contract violation.
+  EXPECT_THROW((void)kendall_tau({1.0, 2.0}, {1.0}),
+               invalid_argument_error);
+}
+
+TEST(Ranking, TopKOverlapClampsKAndHandlesEmpty) {
+  const std::vector<double> truth{1, 2, 3, 4};
+  // k > size clamps to size: comparing the full rankings.
+  EXPECT_DOUBLE_EQ(topk_overlap({1, 2, 3, 4}, truth, 99), 1.0);
+  EXPECT_DOUBLE_EQ(topk_overlap({4, 3, 2, 1}, truth, 99), 1.0);
+  // k <= 0 and empty inputs: the empty top set overlaps vacuously.
+  EXPECT_DOUBLE_EQ(topk_overlap({1, 2}, {2, 1}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(topk_overlap({1, 2}, {2, 1}, -3), 1.0);
+  EXPECT_DOUBLE_EQ(topk_overlap({}, {}, 4), 1.0);
+}
+
+TEST(Ranking, FastGroupDegenerateInputs) {
+  EXPECT_TRUE(fast_group({}).empty());
+  EXPECT_EQ(fast_group({42.0}), (std::vector<index_t>{0}));
+  // Two entries: the smaller one forms the fast group.
+  EXPECT_EQ(fast_group({100.0, 10.0}), (std::vector<index_t>{1}));
+}
+
+TEST(Ranking, CrossoversIgnoreTouchingSeries) {
+  // A touch (difference reaching exactly 0) is not a sign change.
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{2, 2, 4};
+  EXPECT_TRUE(crossovers(a, b).empty());
+}
+
+// Additional direct trace coverage: flop accounting identities.
+
+TEST(Trace, TraceFlopsIsSumOfCallFlops) {
+  const CallTrace t = trace_trinv(2, 200, 64);
+  double sum = 0.0;
+  for (const KernelCall& c : t) sum += call_flops(c);
+  EXPECT_DOUBLE_EQ(trace_flops(t), sum);
+  EXPECT_DOUBLE_EQ(trace_flops({}), 0.0);
+}
+
+TEST(Trace, SylvTraceFlopsMatchFormulaForAllSixteenVariants) {
+  for (int v = 1; v <= kSylvVariantCount; ++v) {
+    const CallTrace t = trace_sylv(v, 160, 128, 48);
+    EXPECT_NEAR(trace_flops(t) / sylv_flops(160, 128), 1.0, 0.3)
+        << "variant " << v;
+  }
 }
 
 }  // namespace
