@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "algorithms/chol.hpp"
 #include "algorithms/sylv.hpp"
 #include "algorithms/trinv.hpp"
 #include "common/env.hpp"
@@ -133,12 +134,35 @@ double measure_sylv_ticks(const std::string& backend, int variant, index_t n,
   return summarize(std::move(ticks)).median;
 }
 
+double measure_chol_ticks(const std::string& backend, int variant, index_t n,
+                          index_t blocksize, index_t reps) {
+  ExecContext ctx(backend_instance(backend));
+  Rng rng(1789);
+  Matrix a0(n, n);
+  fill_spd(a0.view(), rng);
+  Matrix work(n, n);
+
+  std::vector<double> ticks;
+  for (index_t r = 0; r <= reps; ++r) {
+    copy_matrix(a0.view(), work.view());
+    const std::uint64_t t0 = read_ticks();
+    chol_blocked(ctx, variant, n, work.data(), n, blocksize);
+    const std::uint64_t t1 = read_ticks();
+    if (r > 0) ticks.push_back(static_cast<double>(t1 - t0));
+  }
+  return summarize(std::move(ticks)).median;
+}
+
 double trinv_efficiency(index_t n, double ticks) {
   return efficiency(trinv_flops(n), ticks);
 }
 
 double sylv_efficiency(index_t n, double ticks) {
   return efficiency(sylv_flops(n, n), ticks);
+}
+
+double chol_efficiency(index_t n, double ticks) {
+  return efficiency(chol_flops(n), ticks);
 }
 
 }  // namespace dlap::bench

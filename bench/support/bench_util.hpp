@@ -120,8 +120,15 @@ void require_ok(const Status& status);
                                         int variant, index_t n,
                                         index_t blocksize, index_t reps);
 
-/// Efficiency of a trinv / sylv run from its tick count (paper formulas).
+/// Median ticks of actually executing chol variant `variant` (fresh SPD
+/// operand per repetition).
+[[nodiscard]] double measure_chol_ticks(const std::string& backend,
+                                        int variant, index_t n,
+                                        index_t blocksize, index_t reps);
+
+/// Efficiency of a trinv / sylv / chol run from its tick count.
 [[nodiscard]] double trinv_efficiency(index_t n, double ticks);
 [[nodiscard]] double sylv_efficiency(index_t n, double ticks);
+[[nodiscard]] double chol_efficiency(index_t n, double ticks);
 
 }  // namespace dlap::bench

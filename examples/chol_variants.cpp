@@ -1,0 +1,99 @@
+// Ranking the three blocked Cholesky variants without executing them —
+// the operation family registered through the OperationRegistry
+// (src/ops/families.cpp; docs/ADDING_AN_OPERATION.md uses it as the
+// worked example).
+//
+// One RankQuery asks the engine to order the variants by predicted
+// runtime; the engine derives and generates the kernel models itself (one
+// concurrent batch). The predicted ranking is then verified against
+// actual executions.
+//
+// Build & run:  ./build/examples/chol_variants [n] [blocksize]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "api/engine.hpp"
+#include "algorithms/chol.hpp"
+#include "blas/registry.hpp"
+#include "common/matrix_util.hpp"
+#include "common/rng.hpp"
+#include "predict/ranking.hpp"
+#include "sampler/machine.hpp"
+#include "sampler/ticks.hpp"
+
+namespace {
+
+using namespace dlap;
+
+double run_chol(Level3Backend& backend, int variant, index_t n, index_t b) {
+  ExecContext ctx(backend);
+  Rng rng(11);
+  Matrix a(n, n);
+  fill_spd(a.view(), rng);
+  Matrix work(n, n);
+  copy_matrix(a.view(), work.view());
+  chol_blocked(ctx, variant, n, work.data(), n, b);  // warm-up
+  copy_matrix(a.view(), work.view());
+  const std::uint64_t t0 = read_ticks();
+  chol_blocked(ctx, variant, n, work.data(), n, b);
+  const std::uint64_t t1 = read_ticks();
+  return static_cast<double>(t1 - t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t n = (argc > 1) ? std::atoll(argv[1]) : 320;
+  const index_t b = (argc > 2) ? std::atoll(argv[2]) : 32;
+
+  EngineConfig cfg;
+  cfg.service.repository_dir =
+      std::filesystem::temp_directory_path() / "dlaperf_chol_variants";
+  cfg.service.verbose = true;
+  Engine engine(cfg);
+
+  std::printf("ranking chol variants at n=%lld, b=%lld on %s "
+              "(no execution involved):\n",
+              static_cast<long long>(n), static_cast<long long>(b),
+              engine.config().system.to_string().c_str());
+  const Result<Ranking> result = engine.rank(RankQuery::chol_variants(n, b));
+  if (!result.ok()) {
+    std::fprintf(stderr, "rank query failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  const Ranking& ranked = *result;
+
+  const std::vector<double> predicted = ranked.median_ticks();
+  for (std::size_t i = 0; i < ranked.candidates.size(); ++i) {
+    std::printf("  %s: predicted %12.0f ticks (efficiency %.2f)\n",
+                ranked.candidates[i].to_string().c_str(), predicted[i],
+                ranked.predictions[i].efficiency_median(
+                    ranked.candidates[i].nominal_flops()));
+  }
+
+  std::printf("\nverifying against actual executions:\n");
+  Level3Backend& backend =
+      backend_instance(engine.config().system.backend);
+  std::vector<double> measured;
+  for (int v = 1; v <= kCholVariantCount; ++v) {
+    measured.push_back(run_chol(backend, v, n, b));
+    std::printf("  variant %d: measured  %12.0f ticks "
+                "(efficiency %.2f)\n",
+                v, measured.back(),
+                efficiency(chol_flops(n), measured.back()));
+  }
+
+  const auto mo = rank_order(measured);
+  std::printf("\npredicted order: ");
+  for (index_t i : ranked.order) {
+    std::printf("v%lld ", static_cast<long long>(i + 1));
+  }
+  std::printf("\nmeasured order:  ");
+  for (index_t i : mo) std::printf("v%lld ", static_cast<long long>(i + 1));
+  std::printf("\nkendall tau: %.2f, best variant %s\n",
+              kendall_tau(predicted, measured),
+              same_winner(predicted, measured) ? "MATCHES" : "differs");
+  return 0;
+}

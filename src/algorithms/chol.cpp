@@ -1,0 +1,144 @@
+#include "algorithms/chol.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlap {
+
+double chol_flops(index_t n) {
+  const double x = static_cast<double>(n);
+  return x * (x + 1.0) * (2.0 * x + 1.0) / 6.0;
+}
+
+namespace {
+
+double chol_pivot(double d) {
+  if (d <= 0.0) {
+    throw numerical_error("chol: matrix is not positive definite");
+  }
+  return std::sqrt(d);
+}
+
+// Variant 1 at blocksize 1 (bordered): row k is finalized against the
+// already-factored leading block, then the diagonal element.
+//   A10 <- A10 L00^{-T};  a_kk <- sqrt(a_kk - A10 A10^T)
+void unb_v1(index_t n, double* a, index_t lda) {
+  for (index_t k = 0; k < n; ++k) {
+    // Row-vector solve against L00^T: forward substitution, each element
+    // only reads already-finalized elements of its own row.
+    for (index_t j = 0; j < k; ++j) {
+      double s = a[k + j * lda];
+      for (index_t i = 0; i < j; ++i) s -= a[k + i * lda] * a[j + i * lda];
+      a[k + j * lda] = s / a[j + j * lda];
+    }
+    double d = a[k + k * lda];
+    for (index_t j = 0; j < k; ++j) d -= a[k + j * lda] * a[k + j * lda];
+    a[k + k * lda] = chol_pivot(d);
+  }
+}
+
+// Variant 2 at blocksize 1 (left-looking): the diagonal element and the
+// column below it are finalized using all previous columns.
+//   a_kk <- sqrt(a_kk - A10 A10^T);  A21 <- (A21 - A20 A10^T) / l_kk
+void unb_v2(index_t n, double* a, index_t lda) {
+  for (index_t k = 0; k < n; ++k) {
+    double d = a[k + k * lda];
+    for (index_t j = 0; j < k; ++j) d -= a[k + j * lda] * a[k + j * lda];
+    const double l = chol_pivot(d);
+    a[k + k * lda] = l;
+    for (index_t i = k + 1; i < n; ++i) {
+      double s = a[i + k * lda];
+      for (index_t j = 0; j < k; ++j) s -= a[i + j * lda] * a[k + j * lda];
+      a[i + k * lda] = s / l;
+    }
+  }
+}
+
+// Variant 3 at blocksize 1 (right-looking, syrk-rich in blocked form):
+//   a_kk <- sqrt(a_kk);  A21 <- A21 / l_kk;  A22 <- A22 - A21 A21^T
+void unb_v3(index_t n, double* a, index_t lda) {
+  for (index_t k = 0; k < n; ++k) {
+    const double l = chol_pivot(a[k + k * lda]);
+    a[k + k * lda] = l;
+    for (index_t i = k + 1; i < n; ++i) a[i + k * lda] /= l;
+    for (index_t j = k + 1; j < n; ++j) {
+      const double ajk = a[j + k * lda];
+      if (ajk == 0.0) continue;
+      for (index_t i = j; i < n; ++i) {
+        a[i + j * lda] -= a[i + k * lda] * ajk;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void chol_unblocked(int variant, index_t n, double* a, index_t lda) {
+  DLAP_REQUIRE(variant >= 1 && variant <= kCholVariantCount,
+               "chol: variant must be 1..3");
+  DLAP_REQUIRE(n >= 0, "chol: negative dimension");
+  DLAP_REQUIRE(lda >= (n > 0 ? n : 1), "chol: lda too small");
+  switch (variant) {
+    case 1: unb_v1(n, a, lda); break;
+    case 2: unb_v2(n, a, lda); break;
+    default: unb_v3(n, a, lda); break;
+  }
+}
+
+void ExecContext::chol_unb(int variant, index_t n, double* a, index_t lda) {
+  chol_unblocked(variant, n, a, lda);
+}
+
+void chol_blocked(KernelContext& ctx, int variant, index_t n, double* a,
+                  index_t lda, index_t blocksize) {
+  DLAP_REQUIRE(variant >= 1 && variant <= kCholVariantCount,
+               "chol: variant must be 1..3");
+  DLAP_REQUIRE(n >= 0, "chol: negative dimension");
+  DLAP_REQUIRE(lda >= (n > 0 ? n : 1), "chol: lda too small");
+  DLAP_REQUIRE(blocksize >= 1, "chol: blocksize must be >= 1");
+  const index_t b = blocksize;
+
+  // Partition (same traversal as trinv, Section IV-A):
+  //   [ A00  *    *   ]   A00: k0 x k0  (already factored)
+  //   [ A10  A11  *   ]   A11: kb x kb  (current block)
+  //   [ A20  A21  A22 ]   A22: n2 x n2  (not yet factored)
+  for (index_t k0 = 0; k0 < n; k0 += b) {
+    const index_t kb = std::min(b, n - k0);
+    const index_t k1 = k0 + kb;
+    const index_t n2 = n - k1;
+    double* a00 = a;
+    double* a10 = a + k0;
+    double* a11 = a + k0 + k0 * lda;
+    double* a20 = a + k1;
+    double* a21 = a + k1 + k0 * lda;
+    double* a22 = a + k1 + k1 * lda;
+
+    switch (variant) {
+      case 1:
+        ctx.trsm(Side::Right, Uplo::Lower, Trans::Transpose, Diag::NonUnit,
+                 kb, k0, 1.0, a00, lda, a10, lda);
+        ctx.syrk(Uplo::Lower, Trans::NoTrans, kb, k0, -1.0, a10, lda, 1.0,
+                 a11, lda);
+        ctx.chol_unb(1, kb, a11, lda);
+        break;
+      case 2:
+        ctx.syrk(Uplo::Lower, Trans::NoTrans, kb, k0, -1.0, a10, lda, 1.0,
+                 a11, lda);
+        ctx.chol_unb(2, kb, a11, lda);
+        ctx.gemm(Trans::NoTrans, Trans::Transpose, n2, kb, k0, -1.0, a20,
+                 lda, a10, lda, 1.0, a21, lda);
+        ctx.trsm(Side::Right, Uplo::Lower, Trans::Transpose, Diag::NonUnit,
+                 n2, kb, 1.0, a11, lda, a21, lda);
+        break;
+      default:
+        ctx.chol_unb(3, kb, a11, lda);
+        ctx.trsm(Side::Right, Uplo::Lower, Trans::Transpose, Diag::NonUnit,
+                 n2, kb, 1.0, a11, lda, a21, lda);
+        ctx.syrk(Uplo::Lower, Trans::NoTrans, n2, kb, -1.0, a21, lda, 1.0,
+                 a22, lda);
+        break;
+    }
+  }
+}
+
+}  // namespace dlap

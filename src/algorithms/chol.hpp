@@ -1,0 +1,49 @@
+#pragma once
+// Cholesky factorization of a symmetric positive-definite matrix,
+// A = L L^T with L lower triangular; L overwrites the lower triangle of A
+// in place (the strictly upper triangle is never referenced).
+//
+// Three classic blocked algorithmic variants, equivalent in exact
+// arithmetic but with different performance signatures (the third worked
+// operation family of this repository, registered in src/ops/families.cpp
+// alongside trinv and sylv — see docs/ADDING_AN_OPERATION.md):
+//
+//   Variant 1 (bordered)        Variant 2 (left-looking)
+//   A10 <- A10 L00^{-T}         A11 <- A11 - A10 A10^T
+//   A11 <- A11 - A10 A10^T      A11 <- chol(A11)
+//   A11 <- chol(A11)            A21 <- A21 - A20 A10^T
+//                               A21 <- A21 L11^{-T}
+//   Variant 3 (right-looking)
+//   A11 <- chol(A11)
+//   A21 <- A21 L11^{-T}
+//   A22 <- A22 - A21 A21^T
+//
+// The matrix is traversed in steps of `blocksize`; the diagonal block is
+// factored by an unblocked Cholesky whose scalar loop structure mirrors
+// the enclosing blocked variant (the blocked algorithm at blocksize 1),
+// exactly as trinv does with its trinvI_unb kernels.
+
+#include "algorithms/kernel_context.hpp"
+#include "common/types.hpp"
+
+namespace dlap {
+
+inline constexpr int kCholVariantCount = 3;
+
+/// Exact flop count of the factorization, n(n+1)(2n+1)/6 (mult + add
+/// counted separately, same convention as trinv_flops / sylv_flops); the
+/// efficiency formulas divide this by (fips * ticks).
+[[nodiscard]] double chol_flops(index_t n);
+
+/// Unblocked in-place factorization, scalar loops mirroring blocked
+/// variant `variant` (1-3). All variants compute the same L; their loop
+/// structures (and hence performance) differ. Throws dlap::numerical_error
+/// when a pivot is non-positive (the matrix is not positive definite).
+void chol_unblocked(int variant, index_t n, double* a, index_t lda);
+
+/// Blocked in-place factorization, variant 1-3, with block size b >= 1.
+/// All subroutine invocations go through `ctx`.
+void chol_blocked(KernelContext& ctx, int variant, index_t n, double* a,
+                  index_t lda, index_t blocksize);
+
+}  // namespace dlap

@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "ops/registry.hpp"
 #include "predict/ranking.hpp"
 
 namespace dlap {
@@ -75,8 +76,16 @@ auto Engine::submit_tracked(Fn&& fn) -> std::future<decltype(fn())> {
   }
 }
 
+Engine::PlanFn Engine::spec_plan(std::vector<OperationSpec> specs,
+                                 const SystemSpec& system) const {
+  return [specs = std::move(specs), system, policy = config_.planning] {
+    return plan_jobs_for_specs(specs, system, policy);
+  };
+}
+
 Status Engine::resolve(const std::vector<const CallTrace*>& traces,
-                       const SystemSpec& system, Resolution* out) noexcept {
+                       const SystemSpec& system, Resolution* out,
+                       const PlanFn& plan) noexcept {
   try {
     // --- Intern every call; gather the per-key parameter range needed. --
     struct Need {
@@ -166,7 +175,7 @@ Status Engine::resolve(const std::vector<const CallTrace*>& traces,
                 " and on-demand generation is disabled");
       }
       if (!planned_built) {
-        planned = plan_jobs(traces, system, config_.planning);
+        planned = plan ? plan() : plan_jobs(traces, system, config_.planning);
         planned_built = true;
       }
       const auto it = std::find_if(
@@ -256,10 +265,11 @@ Status Engine::resolve(const std::vector<const CallTrace*>& traces,
 }
 
 Result<Prediction> Engine::predict_trace(const CallTrace& trace,
-                                         const SystemSpec& system) noexcept {
+                                         const SystemSpec& system,
+                                         const PlanFn& plan) noexcept {
   try {
     Resolution res;
-    if (Status s = resolve({&trace}, system, &res); !s.ok()) return s;
+    if (Status s = resolve({&trace}, system, &res, plan); !s.ok()) return s;
     if (config_.query_hook) config_.query_hook();
     return predict_with_table(trace, res.ids[0], res.table,
                               config_.prediction);
@@ -273,7 +283,8 @@ Result<Prediction> Engine::predict(const PredictQuery& query) noexcept {
     const SystemSpec system = effective_system(query.system);
     if (query.spec.has_value()) {
       if (Status s = query.spec->validate(); !s.ok()) return s;
-      return predict_trace(query.spec->trace(), system);
+      return predict_trace(query.spec->trace(), system,
+                           spec_plan({*query.spec}, system));
     }
     return predict_trace(query.trace, system);
   } catch (const std::exception& e) {
@@ -299,7 +310,11 @@ Result<Ranking> Engine::rank(const RankQuery& query) noexcept {
     for (const CallTrace& t : traces) ptrs.push_back(&t);
 
     Resolution res;
-    if (Status s = resolve(ptrs, system, &res); !s.ok()) return s;
+    if (Status s = resolve(ptrs, system, &res,
+                           spec_plan(query.candidates, system));
+        !s.ok()) {
+      return s;
+    }
 
     Ranking out;
     out.candidates = query.candidates;
@@ -324,6 +339,7 @@ Result<TuneResult> Engine::tune(const TuneQuery& query) noexcept {
     }
     const SystemSpec system = effective_system(query.system);
     TuneResult out;
+    std::vector<OperationSpec> specs;
     std::vector<CallTrace> traces;
     for (index_t b = query.lo; b <= query.hi; b += query.step) {
       OperationSpec spec = query.spec;
@@ -331,13 +347,17 @@ Result<TuneResult> Engine::tune(const TuneQuery& query) noexcept {
       if (Status s = spec.validate(); !s.ok()) return s;
       out.values.push_back(b);
       traces.push_back(spec.trace());
+      specs.push_back(std::move(spec));
     }
     std::vector<const CallTrace*> ptrs;
     ptrs.reserve(traces.size());
     for (const CallTrace& t : traces) ptrs.push_back(&t);
 
     Resolution res;
-    if (Status s = resolve(ptrs, system, &res); !s.ok()) return s;
+    if (Status s = resolve(ptrs, system, &res, spec_plan(specs, system));
+        !s.ok()) {
+      return s;
+    }
 
     out.predictions.reserve(traces.size());
     for (std::size_t i = 0; i < traces.size(); ++i) {
@@ -425,7 +445,7 @@ Status Engine::prepare(const std::vector<OperationSpec>& specs,
     ptrs.reserve(traces.size());
     for (const CallTrace& t : traces) ptrs.push_back(&t);
     Resolution res;
-    return resolve(ptrs, sys, &res);
+    return resolve(ptrs, sys, &res, spec_plan(specs, sys));
   } catch (const std::exception& e) {
     return internal_error("Engine::prepare", e);
   }

@@ -6,9 +6,11 @@
 //
 // What the facade adds over wiring the pipeline by hand:
 //   - typed queries: callers say *what they want decided* (an operation
-//     spec, a candidate set, a swept parameter); the engine derives the
-//     modeling jobs (api/plan.hpp) and generates missing models on demand
-//     through its ModelService;
+//     spec, a candidate set, a swept parameter); specs are validated and
+//     traced through the OperationRegistry (src/ops/registry.hpp), the
+//     engine derives the modeling jobs (per-family domain planners,
+//     falling back to trace-driven planning in api/plan.hpp) and
+//     generates missing models on demand through its ModelService;
 //   - non-throwing answers: every entry point returns Result<T>
 //     (api/result.hpp) -- a failed query reports a status instead of
 //     unwinding the caller;
@@ -45,7 +47,8 @@ struct EngineConfig {
   ServiceConfig service;
   /// Default system for queries that do not name one.
   SystemSpec system;
-  /// How modeling jobs are derived from query traces.
+  /// How modeling jobs are derived from query traces (consumed by the
+  /// registry's domain planners and the trace-driven fallback).
   PlanningPolicy planning;
   /// Generate models a query needs but the repository lacks (or only
   /// covers too small a domain for). When false such queries fail with
@@ -139,15 +142,27 @@ class Engine {
     return override_spec.value_or(config_.system);
   }
 
+  /// Lazily produces the modeling jobs of the current query; only invoked
+  /// when some model is missing. Spec-based queries plan through the
+  /// OperationRegistry's per-family domain planners
+  /// (plan_jobs_for_specs); an empty function falls back to trace-driven
+  /// planning (api/plan.hpp) for raw-trace queries.
+  using PlanFn = std::function<std::vector<ModelJob>()>;
+
   /// Interns every call of every trace, fills the id -> model table
   /// (engine cache -> repository -> on-demand generation), and verifies
   /// the models cover the traces' parameter points.
   [[nodiscard]] Status resolve(const std::vector<const CallTrace*>& traces,
-                               const SystemSpec& system,
-                               Resolution* out) noexcept;
+                               const SystemSpec& system, Resolution* out,
+                               const PlanFn& plan = {}) noexcept;
 
   [[nodiscard]] Result<Prediction> predict_trace(
-      const CallTrace& trace, const SystemSpec& system) noexcept;
+      const CallTrace& trace, const SystemSpec& system,
+      const PlanFn& plan = {}) noexcept;
+
+  /// PlanFn for a spec-based query: registry-planned jobs for `specs`.
+  [[nodiscard]] PlanFn spec_plan(std::vector<OperationSpec> specs,
+                                 const SystemSpec& system) const;
 
   /// Wraps a submitted task: counts it as pending until it finishes, so
   /// the destructor can wait for the pool to drain dropped futures.

@@ -1,9 +1,13 @@
 #pragma once
-// Spec -> job planning: derive the modeling jobs a query needs from its
+// Trace -> job planning: derive the modeling jobs a query needs from its
 // call trace(s), instead of making callers assemble ModelJob fields by
 // hand. One job per distinct (routine, flags) pair the traces invoke, the
 // domain spanning the union of the calls' size arguments -- exactly what
 // examples/tune_blocksize.cpp used to wire manually.
+//
+// This is also the default DomainPlanner every operation family gets
+// when it registers without its own (src/ops/registry.hpp); spec-based
+// engine queries plan per family through plan_jobs_for_specs.
 
 #include <string>
 #include <vector>

@@ -1,7 +1,8 @@
 #include "api/query.hpp"
 
-#include "algorithms/sylv.hpp"
-#include "algorithms/trinv.hpp"
+#include <utility>
+
+#include "ops/registry.hpp"
 #include "predict/ranking.hpp"
 
 namespace dlap {
@@ -10,20 +11,10 @@ std::string SystemSpec::to_string() const {
   return backend + "/" + locality_name(locality);
 }
 
-OperationSpec OperationSpec::trinv(int variant, index_t n,
-                                   index_t blocksize) {
+OperationSpec OperationSpec::of(std::string op, int variant, index_t m,
+                                index_t n, index_t blocksize) {
   OperationSpec spec;
-  spec.kind = Kind::Trinv;
-  spec.variant = variant;
-  spec.n = n;
-  spec.blocksize = blocksize;
-  return spec;
-}
-
-OperationSpec OperationSpec::sylv(int variant, index_t m, index_t n,
-                                  index_t blocksize) {
-  OperationSpec spec;
-  spec.kind = Kind::Sylv;
+  spec.op = std::move(op);
   spec.variant = variant;
   spec.m = m;
   spec.n = n;
@@ -32,14 +23,23 @@ OperationSpec OperationSpec::sylv(int variant, index_t m, index_t n,
 }
 
 Status OperationSpec::validate() const {
-  const int max_variant =
-      kind == Kind::Trinv ? kTrinvVariantCount : kSylvVariantCount;
-  if (variant < 1 || variant > max_variant) {
+  const OperationDescriptor* family = OperationRegistry::instance().find(op);
+  if (family == nullptr) {
+    std::string known;
+    for (const std::string& name : OperationRegistry::instance().names()) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    return Status::error(StatusCode::ParseError,
+                         to_string() + ": unknown operation family '" + op +
+                             "' (registered: " + known + ")");
+  }
+  if (variant < 1 || variant > family->variant_count) {
     return Status::error(StatusCode::InvalidQuery,
                          to_string() + ": variant must be in [1, " +
-                             std::to_string(max_variant) + "]");
+                             std::to_string(family->variant_count) + "]");
   }
-  if (n < 1 || (kind == Kind::Sylv && m < 1)) {
+  if (n < 1 || (family->size_axes >= 2 && m < 1)) {
     return Status::error(StatusCode::InvalidQuery,
                          to_string() + ": sizes must be >= 1");
   }
@@ -51,18 +51,19 @@ Status OperationSpec::validate() const {
 }
 
 CallTrace OperationSpec::trace() const {
-  return kind == Kind::Trinv ? trace_trinv(variant, n, blocksize)
-                             : trace_sylv(variant, m, n, blocksize);
+  return OperationRegistry::instance().require(op).trace(*this);
 }
 
 double OperationSpec::nominal_flops() const {
-  return kind == Kind::Trinv ? trinv_flops(n) : sylv_flops(m, n);
+  return OperationRegistry::instance().require(op).nominal_flops(*this);
 }
 
 std::string OperationSpec::to_string() const {
-  std::string out = kind == Kind::Trinv ? "trinv" : "sylv";
-  out += " v" + std::to_string(variant);
-  if (kind == Kind::Sylv) out += " m=" + std::to_string(m);
+  const OperationDescriptor* family = OperationRegistry::instance().find(op);
+  std::string out = op + " v" + std::to_string(variant);
+  if (family != nullptr && family->size_axes >= 2) {
+    out += " m=" + std::to_string(m);
+  }
   out += " n=" + std::to_string(n);
   out += " b=" + std::to_string(blocksize);
   return out;
@@ -70,7 +71,7 @@ std::string OperationSpec::to_string() const {
 
 PredictQuery PredictQuery::of(OperationSpec spec) {
   PredictQuery q;
-  q.spec = spec;
+  q.spec = std::move(spec);
   return q;
 }
 
@@ -80,18 +81,21 @@ PredictQuery PredictQuery::of(CallTrace trace) {
   return q;
 }
 
-RankQuery RankQuery::trinv_variants(index_t n, index_t blocksize) {
+RankQuery RankQuery::all_variants(OperationSpec prototype) {
   RankQuery q;
-  for (int v = 1; v <= kTrinvVariantCount; ++v) {
-    q.candidates.push_back(OperationSpec::trinv(v, n, blocksize));
+  const OperationDescriptor* family =
+      OperationRegistry::instance().find(prototype.op);
+  if (family == nullptr) {
+    // Unknown family: carry the prototype so rank() surfaces its
+    // validation status instead of silently answering an empty query.
+    q.candidates.push_back(std::move(prototype));
+    return q;
   }
-  return q;
-}
-
-RankQuery RankQuery::sylv_variants(index_t m, index_t n, index_t blocksize) {
-  RankQuery q;
-  for (int v = 1; v <= kSylvVariantCount; ++v) {
-    q.candidates.push_back(OperationSpec::sylv(v, m, n, blocksize));
+  q.candidates.reserve(static_cast<std::size_t>(family->variant_count));
+  for (int v = 1; v <= family->variant_count; ++v) {
+    OperationSpec spec = prototype;
+    spec.variant = v;
+    q.candidates.push_back(std::move(spec));
   }
   return q;
 }

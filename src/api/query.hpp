@@ -31,31 +31,47 @@ struct SystemSpec {
   [[nodiscard]] std::string to_string() const;
 };
 
-/// A blocked operation the engine knows how to trace: the decision targets
-/// of the paper (triangular inversion variants 1-4, triangular Sylvester
-/// schedules 1-16).
+/// A blocked operation the engine knows how to trace, named by its family
+/// in the OperationRegistry (src/ops/registry.hpp). Built-in families:
+/// triangular inversion (trinv, variants 1-4), triangular Sylvester solve
+/// (sylv, schedules 1-16) and Cholesky factorization (chol, variants
+/// 1-3); registered families extend this set without touching the api
+/// layer.
 struct OperationSpec {
-  enum class Kind { Trinv, Sylv };
-
-  Kind kind = Kind::Trinv;
-  int variant = 1;
-  index_t m = 0;  ///< rows (Sylv only; Trinv uses n alone)
+  /// Family name in the OperationRegistry. A default-constructed spec
+  /// names no family and fails validate() with ParseError.
+  std::string op;
+  int variant = 1;           ///< algorithmic variant, 1..variant_count
+  index_t m = 0;  ///< rows (two-axis families; one-axis ones use n alone)
   index_t n = 0;
   index_t blocksize = 64;
 
+  /// Spec for any registered family. Single-size families ignore `m`
+  /// (pass 0). Whether `op` names a registered family is reported by
+  /// validate(), not here.
+  [[nodiscard]] static OperationSpec of(std::string op, int variant,
+                                        index_t m, index_t n,
+                                        index_t blocksize);
+
+  // Sugar over of() for the built-in families (src/ops/families.cpp).
   [[nodiscard]] static OperationSpec trinv(int variant, index_t n,
                                            index_t blocksize);
   [[nodiscard]] static OperationSpec sylv(int variant, index_t m, index_t n,
                                           index_t blocksize);
+  [[nodiscard]] static OperationSpec chol(int variant, index_t n,
+                                          index_t blocksize);
 
-  /// Ok when variant/sizes/blocksize form a traceable operation.
+  /// Ok when `op` names a registered family (ParseError otherwise) and
+  /// variant/sizes/blocksize form a traceable operation (InvalidQuery
+  /// otherwise).
   [[nodiscard]] Status validate() const;
 
-  /// The operation's exact invocation sequence (requires validate().ok()).
+  /// The operation's exact invocation sequence (requires validate().ok();
+  /// throws dlap::lookup_error on unregistered families).
   [[nodiscard]] CallTrace trace() const;
 
   /// Nominal flop count of the operation (the paper's efficiency formulas
-  /// use this, not the trace sum).
+  /// use this, not the trace sum; requires validate().ok()).
   [[nodiscard]] double nominal_flops() const;
 
   [[nodiscard]] std::string to_string() const;
@@ -77,11 +93,21 @@ struct RankQuery {
   std::vector<OperationSpec> candidates;
   std::optional<SystemSpec> system;
 
+  /// Every variant of the prototype's family (1..variant_count, registry
+  /// lookup) at the prototype's sizes. When the prototype names an
+  /// unregistered family the query carries the prototype alone, and
+  /// Engine::rank reports its validation status (ParseError).
+  [[nodiscard]] static RankQuery all_variants(OperationSpec prototype);
+
+  // Sugar over all_variants for the built-in families
+  // (src/ops/families.cpp).
   /// All four trinv variants at (n, blocksize).
   [[nodiscard]] static RankQuery trinv_variants(index_t n, index_t blocksize);
   /// All sixteen sylv schedules at (m, n, blocksize).
   [[nodiscard]] static RankQuery sylv_variants(index_t m, index_t n,
                                                index_t blocksize);
+  /// All three chol variants at (n, blocksize).
+  [[nodiscard]] static RankQuery chol_variants(index_t n, index_t blocksize);
 };
 
 /// Sweep the operation's block size over {lo, lo+step, ...} <= hi and pick

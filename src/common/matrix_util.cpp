@@ -45,6 +45,25 @@ void fill_upper_triangular(MatrixView a, Rng& rng) {
   fill_triangular(a, rng, /*lower=*/false);
 }
 
+void fill_spd(MatrixView a, Rng& rng) {
+  DLAP_REQUIRE(a.rows() == a.cols(), "SPD fill needs a square matrix");
+  const index_t n = a.rows();
+  const double scale = (n > 0) ? 1.0 / static_cast<double>(n) : 1.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      if (i == j) {
+        // Diagonal in [1, 2): strictly dominates the (n-1)/n worst-case
+        // off-diagonal row sum, so the matrix is SPD by Gershgorin.
+        a(i, j) = 1.0 + rng.uniform();
+      } else {
+        const double v = rng.uniform(-1.0, 1.0) * scale;
+        a(i, j) = v;
+        a(j, i) = v;
+      }
+    }
+  }
+}
+
 void copy_matrix(ConstMatrixView src, MatrixView dst) {
   DLAP_REQUIRE(src.rows() == dst.rows() && src.cols() == dst.cols(),
                "shape mismatch in copy_matrix");

@@ -20,6 +20,12 @@ void fill_lower_triangular(MatrixView a, Rng& rng);
 /// Same, upper-triangular (strictly lower part zeroed).
 void fill_upper_triangular(MatrixView a, Rng& rng);
 
+/// Fills `a` with a well-conditioned symmetric positive-definite matrix:
+/// off-diagonal symmetric uniform in [-1,1]/rows, diagonal in [1,2), so
+/// the matrix is strictly diagonally dominant (hence SPD) and Cholesky
+/// factors exist for any size.
+void fill_spd(MatrixView a, Rng& rng);
+
 /// Copies src into dst elementwise; shapes must match (lds may differ).
 void copy_matrix(ConstMatrixView src, MatrixView dst);
 

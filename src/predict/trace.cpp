@@ -1,5 +1,6 @@
 #include "predict/trace.hpp"
 
+#include "algorithms/chol.hpp"
 #include "algorithms/sylv.hpp"
 #include "algorithms/trinv.hpp"
 #include "common/matrix.hpp"
@@ -43,6 +44,18 @@ void TraceContext::trmm(Side side, Uplo uplo, Trans transa, Diag diag,
   trace_.push_back(std::move(c));
 }
 
+void TraceContext::syrk(Uplo uplo, Trans trans, index_t n, index_t k,
+                        double alpha, const double*, index_t lda, double beta,
+                        double*, index_t ldc) {
+  KernelCall c;
+  c.routine = RoutineId::Syrk;
+  c.flags = {to_char(uplo), to_char(trans)};
+  c.sizes = {n, k};
+  c.scalars = {alpha, beta};
+  c.leads = {lda, ldc};
+  trace_.push_back(std::move(c));
+}
+
 void TraceContext::trinv_unb(int variant, index_t n, double*, index_t ldl) {
   KernelCall c;
   switch (variant) {
@@ -53,6 +66,18 @@ void TraceContext::trinv_unb(int variant, index_t n, double*, index_t ldl) {
   }
   c.sizes = {n};
   c.leads = {ldl};
+  trace_.push_back(std::move(c));
+}
+
+void TraceContext::chol_unb(int variant, index_t n, double*, index_t lda) {
+  KernelCall c;
+  switch (variant) {
+    case 1: c.routine = RoutineId::Chol1Unb; break;
+    case 2: c.routine = RoutineId::Chol2Unb; break;
+    default: c.routine = RoutineId::Chol3Unb; break;
+  }
+  c.sizes = {n};
+  c.leads = {lda};
   trace_.push_back(std::move(c));
 }
 
@@ -80,6 +105,13 @@ CallTrace trace_sylv(int variant, index_t m, index_t n, index_t blocksize) {
   TraceContext ctx;
   sylv_blocked(ctx, variant, m, n, l.data(), m > 0 ? m : 1, u.data(),
                n > 0 ? n : 1, x.data(), m > 0 ? m : 1, blocksize);
+  return ctx.take();
+}
+
+CallTrace trace_chol(int variant, index_t n, index_t blocksize) {
+  Matrix dummy(n, n);
+  TraceContext ctx;
+  chol_blocked(ctx, variant, n, dummy.data(), n > 0 ? n : 1, blocksize);
   return ctx.take();
 }
 

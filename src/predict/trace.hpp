@@ -29,7 +29,11 @@ class TraceContext final : public KernelContext {
   void trmm(Side side, Uplo uplo, Trans transa, Diag diag, index_t m,
             index_t n, double alpha, const double* a, index_t lda, double* b,
             index_t ldb) override;
+  void syrk(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+            const double* a, index_t lda, double beta, double* c,
+            index_t ldc) override;
   void trinv_unb(int variant, index_t n, double* l, index_t ldl) override;
+  void chol_unb(int variant, index_t n, double* a, index_t lda) override;
   void sylv_unb(index_t m, index_t n, const double* l, index_t ldl,
                 const double* u, index_t ldu, double* x,
                 index_t ldx) override;
@@ -46,6 +50,11 @@ class TraceContext final : public KernelContext {
 /// Trace of sylv variant 1-16 on L (m x m), U (n x n), X (m x n),
 /// ldL = ldX = m, ldU = n.
 [[nodiscard]] CallTrace trace_sylv(int variant, index_t m, index_t n,
+                                   index_t blocksize);
+
+/// Trace of chol variant 1-3 on an n x n matrix (ldA = n) with the given
+/// block size; no numerical work is performed.
+[[nodiscard]] CallTrace trace_chol(int variant, index_t n,
                                    index_t blocksize);
 
 /// Total flops across a trace (sum of call_flops).

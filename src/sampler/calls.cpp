@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "algorithms/chol.hpp"
 #include "algorithms/sylv.hpp"
 #include "algorithms/trinv.hpp"
 #include "common/str.hpp"
@@ -50,6 +51,10 @@ const std::vector<RoutineMeta>& routine_table() {
       {"sylv_unb",
        {K::Size, K::Size, K::Data, K::Lead, K::Data, K::Lead, K::Data,
         K::Lead}},
+      // cholI_unb(n, A, ldA)
+      {"chol1_unb", {K::Size, K::Data, K::Lead}},
+      {"chol2_unb", {K::Size, K::Data, K::Lead}},
+      {"chol3_unb", {K::Size, K::Data, K::Lead}},
   };
   return table;
 }
@@ -137,6 +142,10 @@ double call_flops(const KernelCall& c) {
       return trinv_flops(c.sizes.at(0));
     case RoutineId::SylvUnb:
       return sylv_flops(c.sizes.at(0), c.sizes.at(1));
+    case RoutineId::Chol1Unb:
+    case RoutineId::Chol2Unb:
+    case RoutineId::Chol3Unb:
+      return chol_flops(c.sizes.at(0));
   }
   return 0.0;
 }
@@ -203,6 +212,13 @@ std::vector<OperandShape> operand_shapes(const KernelCall& c) {
       out.push_back({m, m, lead(0), Fill::LowerTri, false});
       out.push_back({n, n, lead(1), Fill::UpperTri, false});
       out.push_back({m, n, lead(2), Fill::General, true});
+      break;
+    }
+    case RoutineId::Chol1Unb:
+    case RoutineId::Chol2Unb:
+    case RoutineId::Chol3Unb: {
+      const index_t n = size(0);
+      out.push_back({n, n, lead(0), Fill::SymPosDef, true});
       break;
     }
   }
@@ -348,6 +364,15 @@ void execute_call(const KernelCall& c, Level3Backend& backend,
     case RoutineId::SylvUnb:
       sylv_unblocked(size(0), size(1), ops[0], lead(0), ops[1], lead(1),
                      ops[2], lead(2));
+      break;
+    case RoutineId::Chol1Unb:
+      chol_unblocked(1, size(0), ops[0], lead(0));
+      break;
+    case RoutineId::Chol2Unb:
+      chol_unblocked(2, size(0), ops[0], lead(0));
+      break;
+    case RoutineId::Chol3Unb:
+      chol_unblocked(3, size(0), ops[0], lead(0));
       break;
   }
 }

@@ -34,9 +34,12 @@ enum class RoutineId : int {
   Trinv3Unb,
   Trinv4Unb,
   SylvUnb,  // unblocked triangular Sylvester solve
+  Chol1Unb,  // unblocked Cholesky, loop structure of blocked variant 1
+  Chol2Unb,
+  Chol3Unb,
 };
 
-inline constexpr int kRoutineCount = 11;
+inline constexpr int kRoutineCount = 14;
 
 [[nodiscard]] const char* routine_name(RoutineId id);
 [[nodiscard]] RoutineId routine_from_name(const std::string& name);
@@ -90,7 +93,7 @@ struct OperandShape {
   index_t rows = 0;
   index_t cols = 0;
   index_t ld = 0;
-  enum class Fill { General, LowerTri, UpperTri, Symmetric } fill =
+  enum class Fill { General, LowerTri, UpperTri, Symmetric, SymPosDef } fill =
       Fill::General;
   bool written = false;  ///< operand is modified by the call
 };

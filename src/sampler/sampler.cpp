@@ -33,6 +33,11 @@ std::vector<double> Sampler::measure_raw(const KernelCall& call) {
       case OperandShape::Fill::UpperTri:
         fill_upper_triangular(m.view(), rng);
         break;
+      case OperandShape::Fill::SymPosDef:
+        // The factorization kernels require an actually-SPD operand (a
+        // non-PD matrix would throw mid-measurement, not just mis-time).
+        fill_spd(m.view(), rng);
+        break;
       case OperandShape::Fill::General:
       case OperandShape::Fill::Symmetric:
         // Performance does not depend on symmetry of the values; uniform

@@ -1,13 +1,16 @@
-// Tests for the target algorithms: the four trinv variants (blocked and
-// unblocked) and the sixteen Sylvester variants, all checked against
-// independent mathematical properties (L * L^{-1} = I, residual of
-// L X + X U = C), across block sizes and rectangular shapes.
+// Tests for the target algorithms: the four trinv variants, the sixteen
+// Sylvester variants and the three Cholesky variants (blocked and
+// unblocked), all checked against independent mathematical properties
+// (L * L^{-1} = I, residual of L X + X U = C, ||L L^T - A|| / ||A||),
+// across block sizes and rectangular shapes.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <tuple>
 
+#include "algorithms/chol.hpp"
 #include "algorithms/sylv.hpp"
 #include "algorithms/trinv.hpp"
 #include "blas/registry.hpp"
@@ -50,6 +53,31 @@ double sylv_residual(const Matrix& l, const Matrix& u, const Matrix& x,
     }
   }
   return relative_diff(r.view(), c.view());
+}
+
+// || L L^T - A ||_F / ||A||_F, with L the lower triangle of `factored`
+// and A the original symmetric matrix (only its lower triangle read).
+double chol_residual(const Matrix& factored, const Matrix& aorig) {
+  const index_t n = aorig.rows();
+  Matrix prod(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      // (L L^T)(i,j) = sum_k L(i,k) L(j,k), k <= min(i,j).
+      const index_t kmax = std::min(i, j);
+      for (index_t k = 0; k <= kmax; ++k) {
+        s += factored(i, k) * factored(j, k);
+      }
+      prod(i, j) = s;
+    }
+  }
+  Matrix full(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      full(i, j) = (i >= j) ? aorig(i, j) : aorig(j, i);
+    }
+  }
+  return relative_diff(prod.view(), full.view());
 }
 
 // ------------------------------------------------------------ trinv unb
@@ -335,6 +363,140 @@ TEST(SylvFlops, MatchesPaperFormula) {
   // at 4 flops/cycle, i.e. flops = 2(n^3 + n^2).
   EXPECT_DOUBLE_EQ(sylv_flops(10, 10), 2.0 * (1000.0 + 100.0));
   EXPECT_DOUBLE_EQ(sylv_flops(2, 3), 2.0 * 3.0 * 7.0);
+}
+
+// ------------------------------------------------------------- chol unb
+
+class CholUnblockedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholUnblockedTest, FactorsAcrossSizes) {
+  const int variant = GetParam();
+  Rng rng(300 + variant);
+  for (index_t n : {1, 2, 3, 8, 17, 64, 129}) {
+    Matrix a(n, n, n + 2);
+    fill_spd(a.view(), rng);
+    Matrix a0(n, n);
+    copy_matrix(a.view(), a0.view());
+    chol_unblocked(variant, n, a.data(), a.ld());
+    Matrix l(n, n);
+    copy_matrix(a.view(), l.view());
+    EXPECT_LT(chol_residual(l, a0), 1e-12)
+        << "variant " << variant << " n=" << n;
+  }
+}
+
+TEST_P(CholUnblockedTest, ZeroSizeIsNoop) {
+  double sentinel = 42.0;
+  chol_unblocked(GetParam(), 0, &sentinel, 1);
+  EXPECT_EQ(sentinel, 42.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, CholUnblockedTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(CholUnblocked, AllVariantsProduceIdenticalResults) {
+  Rng rng(17);
+  const index_t n = 40;
+  Matrix a0(n, n);
+  fill_spd(a0.view(), rng);
+  Matrix ref(n, n);
+  copy_matrix(a0.view(), ref.view());
+  chol_unblocked(1, n, ref.data(), n);
+  for (int v = 2; v <= kCholVariantCount; ++v) {
+    Matrix a(n, n);
+    copy_matrix(a0.view(), a.view());
+    chol_unblocked(v, n, a.data(), n);
+    EXPECT_LT(relative_diff(a.view(), ref.view()), 1e-12) << "variant " << v;
+  }
+}
+
+TEST(CholUnblocked, NotPositiveDefiniteThrows) {
+  // A diagonal with a non-positive entry cannot be SPD.
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 1.0;
+  for (int v = 1; v <= kCholVariantCount; ++v) {
+    Matrix c(3, 3);
+    copy_matrix(a.view(), c.view());
+    EXPECT_THROW(chol_unblocked(v, 3, c.data(), 3), numerical_error)
+        << "variant " << v;
+  }
+}
+
+TEST(CholUnblocked, RejectsBadArguments) {
+  double x = 1.0;
+  EXPECT_THROW(chol_unblocked(0, 1, &x, 1), invalid_argument_error);
+  EXPECT_THROW(chol_unblocked(4, 1, &x, 1), invalid_argument_error);
+  EXPECT_THROW(chol_unblocked(1, 4, &x, 2), invalid_argument_error);
+}
+
+// ---------------------------------------------------------- chol blocked
+
+class CholBlockedTest
+    : public ::testing::TestWithParam<std::tuple<int, index_t, const char*>> {
+};
+
+TEST_P(CholBlockedTest, FactorsForAllBlocksizes) {
+  const auto [variant, blocksize, bname] = GetParam();
+  ExecContext ctx(backend_instance(bname));
+  Rng rng(variant * 2000 + blocksize);
+  for (index_t n : {1, 13, 96, 150}) {
+    Matrix a(n, n);
+    fill_spd(a.view(), rng);
+    Matrix a0(n, n);
+    copy_matrix(a.view(), a0.view());
+    chol_blocked(ctx, variant, n, a.data(), n > 0 ? n : 1, blocksize);
+    EXPECT_LT(chol_residual(a, a0), 1e-11)
+        << "variant " << variant << " b=" << blocksize << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsBlocksizesBackends, CholBlockedTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values<index_t>(1, 7, 32, 96, 200),
+                       ::testing::Values("naive", "blocked")));
+
+TEST(CholBlocked, AgreesWithUnblockedAtBlocksizeOne) {
+  // Blocked with b = 1 performs the same mathematical steps as unblocked
+  // (backend kernels may reorder the arithmetic, so compare to a tight
+  // tolerance rather than bit-exactly).
+  Rng rng(23);
+  const index_t n = 24;
+  Matrix a0(n, n);
+  fill_spd(a0.view(), rng);
+  ExecContext ctx(backend_instance("naive"));
+  for (int v = 1; v <= kCholVariantCount; ++v) {
+    Matrix a(n, n), b(n, n);
+    copy_matrix(a0.view(), a.view());
+    copy_matrix(a0.view(), b.view());
+    chol_blocked(ctx, v, n, a.data(), n, 1);
+    chol_unblocked(v, n, b.data(), n);
+    EXPECT_LT(relative_diff(a.view(), b.view()), 1e-13) << "variant " << v;
+  }
+}
+
+TEST(CholBlocked, WorksWithLeadingDimensionLargerThanN) {
+  Rng rng(24);
+  const index_t n = 50, ld = 77;
+  Matrix a(n, n, ld);
+  fill_spd(a.view(), rng);
+  Matrix a0(n, n);
+  copy_matrix(a.view(), a0.view());
+  ExecContext ctx(backend_instance("blocked"));
+  chol_blocked(ctx, 2, n, a.data(), ld, 16);
+  Matrix result(n, n);
+  copy_matrix(a.view(), result.view());
+  EXPECT_LT(chol_residual(result, a0), 1e-11);
+}
+
+TEST(CholFlops, MatchesClosedForm) {
+  // n(n+1)(2n+1)/6 = n^3/3 + n^2/2 + n/6 (mult + add counted separately).
+  EXPECT_DOUBLE_EQ(chol_flops(1), 1.0);
+  EXPECT_DOUBLE_EQ(chol_flops(10), 385.0);
+  const double n = 1000.0;
+  EXPECT_NEAR(chol_flops(1000), n * n * n / 3 + n * n / 2 + n / 6, 1e-6);
 }
 
 }  // namespace

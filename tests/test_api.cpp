@@ -125,6 +125,13 @@ TEST(Query, SpecValidation) {
             StatusCode::InvalidQuery);
   EXPECT_EQ(OperationSpec::sylv(1, 0, 64, 16).validate().code,
             StatusCode::InvalidQuery);
+  EXPECT_TRUE(OperationSpec::chol(2, 128, 32).validate().ok());
+  EXPECT_EQ(OperationSpec::chol(4, 128, 32).validate().code,
+            StatusCode::InvalidQuery);
+  // Family names are registry lookups: unknown ones are a parse problem,
+  // not a crash (see test_ops.cpp for the registry-level cases).
+  EXPECT_EQ(OperationSpec::of("lu", 1, 0, 128, 32).validate().code,
+            StatusCode::ParseError);
 }
 
 TEST(Query, SpecTraceMatchesFreeFunctions) {
@@ -141,6 +148,10 @@ TEST(Query, SpecTraceMatchesFreeFunctions) {
 TEST(Query, FamilyFactories) {
   EXPECT_EQ(RankQuery::trinv_variants(128, 32).candidates.size(), 4u);
   EXPECT_EQ(RankQuery::sylv_variants(64, 64, 16).candidates.size(), 16u);
+  EXPECT_EQ(RankQuery::chol_variants(128, 32).candidates.size(), 3u);
+  EXPECT_EQ(RankQuery::all_variants(OperationSpec::chol(2, 96, 16))
+                .candidates.size(),
+            3u);
 }
 
 // --------------------------------------------------------------- planning
@@ -359,6 +370,43 @@ TEST(Engine, PredictCallParsesAndPredictsText) {
   ASSERT_FALSE(invalid.ok());
   EXPECT_TRUE(invalid.status().code == StatusCode::ParseError ||
               invalid.status().code == StatusCode::InvalidQuery);
+}
+
+TEST(Engine, RanksCholVariantsThroughTheRegistry) {
+  // The third operation family flows through the same registry-driven
+  // pipeline: rank all three Cholesky variants, check per-candidate
+  // bit-identity with single predictions.
+  TempEngine t("dlap_test_api_chol");
+  const auto result = t.engine.rank(RankQuery::chol_variants(160, 32));
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const Ranking& ranked = *result;
+  ASSERT_EQ(ranked.predictions.size(), 3u);
+  EXPECT_EQ(ranked.order, rank_order(ranked.median_ticks()));
+  for (std::size_t i = 0; i < ranked.candidates.size(); ++i) {
+    const auto single =
+        t.engine.predict(PredictQuery::of(ranked.candidates[i]));
+    ASSERT_TRUE(single.ok()) << single.status().to_string();
+    expect_identical(ranked.predictions[i], *single);
+  }
+}
+
+TEST(Engine, UnknownOperationFamilyReportsParseError) {
+  TempEngine t("dlap_test_api_unknown_op");
+  const auto pred = t.engine.predict(
+      PredictQuery::of(OperationSpec::of("nosuchop", 1, 0, 128, 32)));
+  ASSERT_FALSE(pred.ok());
+  EXPECT_EQ(pred.status().code, StatusCode::ParseError);
+
+  const auto rank = t.engine.rank(
+      RankQuery::all_variants(OperationSpec::of("nosuchop", 1, 0, 128, 32)));
+  ASSERT_FALSE(rank.ok());
+  EXPECT_EQ(rank.status().code, StatusCode::ParseError);
+
+  TuneQuery tq;
+  tq.spec = OperationSpec::of("nosuchop", 1, 0, 128, 32);
+  const auto tune = t.engine.tune(tq);
+  ASSERT_FALSE(tune.ok());
+  EXPECT_EQ(tune.status().code, StatusCode::ParseError);
 }
 
 TEST(Engine, InvalidSpecsReportInvalidQuery) {

@@ -13,14 +13,21 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <map>
 
+#include "algorithms/chol.hpp"
 #include "algorithms/sylv.hpp"
 #include "algorithms/trinv.hpp"
+#include "api/engine.hpp"
 #include "blas/registry.hpp"
+#include "common/matrix_util.hpp"
+#include "common/rng.hpp"
 #include "modeler/modeler.hpp"
+#include "sampler/ticks.hpp"
 #include "modeler/repository.hpp"
 #include "modeler/strategies.hpp"
 #include "predict/predictor.hpp"
@@ -57,6 +64,9 @@ double vm_cost(const KernelCall& c) {
     case RoutineId::Trinv3Unb:
     case RoutineId::Trinv4Unb:
     case RoutineId::SylvUnb:
+    case RoutineId::Chol1Unb:
+    case RoutineId::Chol2Unb:
+    case RoutineId::Chol3Unb:
       speed = 8.0;
       break;
     default:
@@ -211,6 +221,37 @@ TEST(IntegrationVM, SylvGroupsSeparatedAndTopVariantsRanked) {
   EXPECT_GT(sep(predicted), 1.005);
 }
 
+TEST(IntegrationVM, CholRankingRecoveredExactly) {
+  // Same end-to-end pipeline as the trinv test, for the third operation
+  // family: models for every kernel the three Cholesky variants invoke,
+  // fitted against the virtual machine; the predicted ranking must match
+  // the ground-truth ranking of the traces' analytic costs.
+  const index_t n = 480;
+  const index_t b = 96;
+  const Region d1({8}, {512});
+  const Region d2({8, 8}, {512, 512});
+  const Region d3({8, 8, 8}, {512, 512, 512});
+  ModelSet set;
+  set.add(vm_model(request_for(RoutineId::Trsm, {'R', 'L', 'T', 'N'}, d2)));
+  set.add(vm_model(request_for(RoutineId::Syrk, {'L', 'N'}, d2)));
+  set.add(vm_model(request_for(RoutineId::Gemm, {'N', 'T'}, d3)));
+  set.add(vm_model(request_for(RoutineId::Chol1Unb, {}, d1)));
+  set.add(vm_model(request_for(RoutineId::Chol2Unb, {}, d1)));
+  set.add(vm_model(request_for(RoutineId::Chol3Unb, {}, d1)));
+  const Predictor pred(set);
+
+  std::vector<double> predicted, truth;
+  for (int v = 1; v <= kCholVariantCount; ++v) {
+    const CallTrace t = trace_chol(v, n, b);
+    predicted.push_back(pred.predict(t).ticks.median);
+    truth.push_back(vm_trace_cost(t));
+  }
+  for (int v = 0; v < kCholVariantCount; ++v) {
+    EXPECT_NEAR(predicted[v] / truth[v], 1.0, 0.08) << "variant " << v + 1;
+  }
+  EXPECT_EQ(rank_order(predicted), rank_order(truth));
+}
+
 // --------------------------------------------------- real-sampler smoke
 
 TEST(IntegrationReal, ModelPredictStoreReloadRoundTrip) {
@@ -281,6 +322,89 @@ TEST(IntegrationReal, ModelerBatchGeneratesInRequestOrder) {
     EXPECT_GT(m.unique_samples, 0);
     EXPECT_GT(m.model.evaluate(std::vector<index_t>{32, 32}).median, 0.0);
   }
+}
+
+// Best-of-reps ticks of really executing chol variant `variant` on
+// `backend` (fresh SPD operand per repetition, one untimed warm-up).
+// Minimum, not median: the measured side must rank variants that sit
+// within ~10-25% of each other on machines where concurrent test
+// processes preempt runs, and the min is the statistic least distorted
+// by preemption outliers.
+double measure_chol_ticks(Level3Backend& backend, int variant, index_t n,
+                          index_t b, index_t reps) {
+  ExecContext ctx(backend);
+  Rng rng(91 + variant);
+  Matrix a0(n, n);
+  fill_spd(a0.view(), rng);
+  Matrix work(n, n);
+  copy_matrix(a0.view(), work.view());
+  chol_blocked(ctx, variant, n, work.data(), n, b);  // warm-up
+  double best = 0.0;
+  for (index_t r = 0; r < reps; ++r) {
+    copy_matrix(a0.view(), work.view());
+    const std::uint64_t t0 = read_ticks();
+    chol_blocked(ctx, variant, n, work.data(), n, b);
+    const std::uint64_t t1 = read_ticks();
+    const double t = static_cast<double>(t1 - t0);
+    if (r == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+TEST(IntegrationReal, CholPredictedBestMatchesMeasuredBestUsually) {
+  // The PR 3 acceptance gate: RankQuery over the three Cholesky variants,
+  // with models generated from real measurements, must name the variant
+  // that real execution finds fastest at >= 2 of 3 problem sizes (exact
+  // agreement at every size would over-promise: within-noise ties between
+  // close variants are legitimate).
+  const auto dir =
+      std::filesystem::temp_directory_path() / "dlaperf_integration_chol";
+  std::filesystem::remove_all(dir);
+  EngineConfig cfg;
+  cfg.service.repository_dir = dir;
+  // Sequential generation + extra repetitions: generation-time
+  // measurement noise (contended cores, outliers) directly blurs the
+  // fitted models, and the three variants are within ~10% of each other.
+  cfg.service.workers = 1;
+  cfg.planning.reps = 7;
+  Engine engine(cfg);
+  Level3Backend& backend = backend_instance(cfg.system.backend);
+
+  const index_t b = 32;
+  const std::vector<index_t> sizes = {128, 192, 256};
+
+  // One protocol attempt: generate models, rank each size, count how
+  // often the predicted-best variant is the measured-best.
+  const auto attempt = [&](Engine& eng) {
+    EXPECT_TRUE(
+        eng.prepare(RankQuery::chol_variants(sizes.back(), b).candidates)
+            .ok());
+    int matches = 0;
+    for (const index_t n : sizes) {
+      const Result<Ranking> ranked = eng.rank(RankQuery::chol_variants(n, b));
+      EXPECT_TRUE(ranked.ok()) << ranked.status().to_string();
+      if (!ranked.ok()) return 0;
+      std::vector<double> measured;
+      for (int v = 1; v <= kCholVariantCount; ++v) {
+        measured.push_back(measure_chol_ticks(backend, v, n, b, 5));
+      }
+      matches += ranked->best() == rank_order(measured)[0];
+    }
+    return matches;
+  };
+
+  int matches = attempt(engine);
+  for (int retry = 0; retry < 2 && matches < 2; ++retry) {
+    // A loaded machine (concurrent tests, CI neighbors) can blur one
+    // generation pass end to end; a fresh-model repeat separates "the
+    // pipeline mispredicts" from "this run's timings were garbage".
+    std::filesystem::remove_all(dir);
+    Engine retry_engine(cfg);
+    matches = attempt(retry_engine);
+  }
+  EXPECT_GE(matches, 2) << "predicted-best matched measured-best at only "
+                        << matches << " of " << sizes.size() << " sizes";
+  std::filesystem::remove_all(dir);
 }
 
 TEST(IntegrationReal, ExpansionStrategyOnRealMeasurements) {
