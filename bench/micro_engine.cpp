@@ -142,5 +142,12 @@ int main() {
   const bool pass = all_identical && speedup_at_4 > 2.0;
   print_comment("speedup at 4 workers: " + std::to_string(speedup_at_4) +
                 (pass ? " (PASS, > 2x)" : " (FAIL, need > 2x)"));
+
+  BenchJson json;
+  json.set("bench", std::string("micro_engine"));
+  json.set("batch_speedup_at_4_workers", speedup_at_4);
+  json.set("bit_identical", all_identical);
+  json.set("pass", pass);
+  json.write("BENCH_engine.json");
   return pass ? 0 : 1;
 }

@@ -151,5 +151,13 @@ int main() {
   const bool pass = deterministic && speedup_at_4 > 1.5;
   print_comment("speedup at 4 workers: " + std::to_string(speedup_at_4) +
                 (pass ? " (PASS, > 1.5x)" : " (FAIL, need > 1.5x)"));
+
+  BenchJson json;
+  json.set("bench", std::string("micro_service"));
+  json.set("sequential_ms", seq_ms);
+  json.set("batch_speedup_at_4_workers", speedup_at_4);
+  json.set("deterministic", deterministic);
+  json.set("pass", pass);
+  json.write("BENCH_service.json");
   return pass ? 0 : 1;
 }

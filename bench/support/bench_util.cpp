@@ -1,6 +1,7 @@
 #include "bench_util.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "algorithms/chol.hpp"
@@ -58,6 +59,79 @@ void print_row(double x, const std::vector<double>& values) {
   std::printf("  %14.6g", x);
   for (double v : values) std::printf(" %14.6g", v);
   std::printf("\n");
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+void BenchJson::set(const std::string& key, double value) {
+  char buf[64];
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+  } else {
+    std::snprintf(buf, sizeof buf, "null");
+  }
+  fields_.emplace_back(key, buf);
+}
+
+void BenchJson::set(const std::string& key, index_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+}
+
+void BenchJson::set(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+}
+
+void BenchJson::set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + json_escape(value) + "\"");
+}
+
+std::string BenchJson::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ",";
+    out += "\n  \"" + json_escape(fields_[i].first) +
+           "\": " + fields_[i].second;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+void BenchJson::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  const std::string body = to_string();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+    std::exit(1);
+  }
+  print_comment("wrote " + path);
 }
 
 RefinementConfig paper_refinement_config() {

@@ -70,6 +70,31 @@ void print_header(const std::vector<std::string>& columns);
 void print_row(const std::vector<double>& values);
 void print_row(double x, const std::vector<double>& values);
 
+// -------------------------------------------------- machine-readable out
+
+/// Tiny flat-JSON-object writer: the micro benches dump their headline
+/// metrics (ns/query, speedups, pass/fail gates) as BENCH_<name>.json so
+/// the perf trajectory is tracked across PRs (CI uploads the files as
+/// artifacts). Fields keep insertion order; non-finite numbers render as
+/// null.
+class BenchJson {
+ public:
+  void set(const std::string& key, double value);
+  void set(const std::string& key, index_t value);
+  void set(const std::string& key, bool value);
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes the object to `path` (e.g. "BENCH_predict.json") and prints a
+  /// comment naming the file. Exits nonzero on I/O failure -- a perf-smoke
+  /// run without its artifact is a failed run.
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key, rendered
+};
+
 // -------------------------------------------------------- engine access
 
 /// The Adaptive Refinement configuration the paper selects in III-D3

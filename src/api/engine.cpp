@@ -41,7 +41,10 @@ Status internal_error(const char* where, const std::exception& e) {
 }  // namespace
 
 Engine::Engine(EngineConfig config)
-    : config_(std::move(config)), service_(config_.service) {}
+    : config_(std::move(config)),
+      trace_cache_(static_cast<std::size_t>(
+          std::max<index_t>(0, config_.trace_cache_capacity))),
+      service_(config_.service) {}
 
 Engine::~Engine() {
   std::unique_lock<std::mutex> lock(pending_mutex_);
@@ -83,36 +86,90 @@ Engine::PlanFn Engine::spec_plan(std::vector<OperationSpec> specs,
   };
 }
 
-Status Engine::resolve(const std::vector<const CallTrace*>& traces,
-                       const SystemSpec& system, Resolution* out,
-                       const PlanFn& plan) noexcept {
+// ------------------------------------------------------------ compilation
+
+std::shared_ptr<CompiledSweepPoint> Engine::compile_trace(
+    const CallTrace& trace, const SystemSpec& system) {
+  CompiledTrace compiled = CompiledTrace::compile(trace, config_.prediction);
+  std::vector<int> ids;
+  ids.reserve(compiled.keys().size());
+  for (const CompiledKey& key : compiled.keys()) {
+    // One interner probe per DISTINCT key of the trace, not per call --
+    // and a heterogeneous one: no temporary ModelKey strings.
+    ids.push_back(interner_.intern(ModelKeyRef{routine_name(key.routine),
+                                               system.backend,
+                                               system.locality, key.flags}));
+  }
+  return std::make_shared<CompiledSweepPoint>(std::move(compiled),
+                                              std::move(ids));
+}
+
+std::shared_ptr<CompiledSweepPoint> Engine::compile_spec(
+    const OperationSpec& spec, const SystemSpec& system) {
+  const SweepPointKey key{spec.op,        spec.variant,   spec.m, spec.n,
+                          spec.blocksize, system.backend, system.locality};
+  if (auto hit = trace_cache_.find(key)) return hit;
+  auto point = compile_trace(spec.trace(), system);
+  trace_cache_.insert(key, point);
+  return point;
+}
+
+// ------------------------------------------------------------- resolution
+
+Status Engine::resolve(
+    const std::vector<const CompiledSweepPoint*>& points,
+    const SystemSpec& system, const PlanFn& plan,
+    std::vector<std::shared_ptr<const ResolvedSlots>>* slots) noexcept {
   try {
-    // --- Intern every call; gather the per-key parameter range needed. --
+    slots->assign(points.size(), nullptr);
+    const std::uint64_t version = model_version_.load(std::memory_order_acquire);
+
+    // --- Fast path: reuse every snapshot still current at `version`. ---
+    std::vector<std::size_t> stale;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (auto snap = points[i]->slots(version)) {
+        (*slots)[i] = std::move(snap);
+      } else {
+        stale.push_back(i);
+      }
+    }
+    if (stale.empty()) return {};
+
+    // --- Gather the per-key parameter ranges the stale points need, ----
+    // one Need per interned id, bounding boxes over UNIQUE entries only.
     struct Need {
       ModelKey key;
-      std::optional<Region> needed;  // bounding box of non-degenerate calls
+      std::optional<Region> needed;  // box of non-degenerate unique calls
       std::vector<index_t> lo, hi;
+      bool evaluated_degenerate = false;  // degenerate entries that WILL
+                                          // be clamp-evaluated (only with
+                                          // skip_empty_calls off)
     };
     std::map<int, Need> needs;
-    out->ids.resize(traces.size());
-    for (std::size_t t = 0; t < traces.size(); ++t) {
-      out->ids[t].clear();
-      out->ids[t].reserve(traces[t]->size());
-      for (const KernelCall& call : *traces[t]) {
-        ModelKey key{std::string(routine_name(call.routine)), system.backend,
-                     system.locality, call.flag_key()};
-        const int id = interner_.intern(key);
-        out->ids[t].push_back(id);
-        Need& need = needs[id];
-        if (need.key.routine.empty()) need.key = std::move(key);
-        if (call_is_degenerate(call)) continue;  // clamp-evaluated if predicted
-        if (need.lo.empty()) {
-          need.lo = call.sizes;
-          need.hi = call.sizes;
-        } else {
-          for (std::size_t d = 0; d < need.lo.size(); ++d) {
-            need.lo[d] = std::min(need.lo[d], call.sizes[d]);
-            need.hi[d] = std::max(need.hi[d], call.sizes[d]);
+    for (const std::size_t i : stale) {
+      const CompiledTrace& trace = points[i]->trace();
+      const std::vector<int>& ids = points[i]->ids();
+      for (std::size_t k = 0; k < trace.keys().size(); ++k) {
+        Need& need = needs[ids[k]];
+        if (need.key.routine.empty()) {
+          const CompiledKey& ck = trace.keys()[k];
+          need.key = ModelKey{routine_name(ck.routine), system.backend,
+                              system.locality, ck.flags};
+        }
+        for (const std::uint32_t e : trace.entries_of(static_cast<int>(k))) {
+          const CompiledCall& call = trace.entries()[e];
+          if (call.degenerate) {
+            need.evaluated_degenerate = true;  // clamp-evaluated if predicted
+            continue;
+          }
+          if (need.lo.empty()) {
+            need.lo = call.sizes;
+            need.hi = call.sizes;
+          } else {
+            for (std::size_t d = 0; d < need.lo.size(); ++d) {
+              need.lo[d] = std::min(need.lo[d], call.sizes[d]);
+              need.hi[d] = std::max(need.hi[d], call.sizes[d]);
+            }
           }
         }
       }
@@ -144,15 +201,17 @@ Status Engine::resolve(const std::vector<const CallTrace*>& traces,
       if (resolved.count(id) != 0) continue;
       std::shared_ptr<const RoutineModel> stored = service_.find(need.key);
       if (covers_needed(stored.get(), need.needed)) {
+        // With no needed region (degenerate-only key) any stored model
+        // covers: its clamp-evaluation answers the zero-size calls.
         resolved[id] = std::move(stored);
         continue;
       }
       if (!need.needed.has_value()) {
         // Only degenerate calls reference this key, so no domain can be
-        // planned for it. With skip_empty_calls the predict loop never
-        // consults the entry; without it the missing model must surface
-        // as a status, not a silent zero contribution.
-        if (!config_.prediction.skip_empty_calls) {
+        // planned for it. With skip_empty_calls such calls never compile
+        // into entries; without it the missing model must surface as a
+        // status, not a silent zero contribution.
+        if (need.evaluated_degenerate) {
           return Status::error(
               StatusCode::MissingModel,
               "no model for " + need.key.to_string() +
@@ -175,7 +234,7 @@ Status Engine::resolve(const std::vector<const CallTrace*>& traces,
                 " and on-demand generation is disabled");
       }
       if (!planned_built) {
-        planned = plan ? plan() : plan_jobs(traces, system, config_.planning);
+        planned = plan();
         planned_built = true;
       }
       const auto it = std::find_if(
@@ -227,9 +286,7 @@ Status Engine::resolve(const std::vector<const CallTrace*>& traces,
       }
     }
 
-    // --- Phase C: verify coverage, build the flat table, warm the cache.
-    out->table.assign(interner_.size(), nullptr);
-    out->pins.clear();
+    // --- Phase C: verify coverage, warm the model cache, stamp slots. --
     for (const auto& [id, need] : needs) {
       const auto it = resolved.find(id);
       if (it == resolved.end()) continue;  // degenerate-only key, no model
@@ -240,14 +297,14 @@ Status Engine::resolve(const std::vector<const CallTrace*>& traces,
                 it->second->model.domain().to_string() +
                 " but the query needs " + need.needed->to_string());
       }
-      out->table[static_cast<std::size_t>(id)] = it->second.get();
-      out->pins.push_back(it->second);
     }
+    bool changed = false;
     {
       std::unique_lock<std::shared_mutex> lock(cache_mutex_);
-      if (cache_.size() < out->table.size()) cache_.resize(out->table.size());
+      if (cache_.size() < interner_.size()) cache_.resize(interner_.size());
       for (const auto& [id, model] : resolved) {
         auto& slot = cache_[static_cast<std::size_t>(id)];
+        if (slot == model) continue;  // same pointer: nothing to invalidate
         // Entries only ever widen: a concurrent resolve that satisfied a
         // narrower query from the repository must not shrink a wider
         // cached model.
@@ -255,7 +312,69 @@ Status Engine::resolve(const std::vector<const CallTrace*>& traces,
             (model->model.domain().dims() == slot->model.domain().dims() &&
              model->model.domain().covers(slot->model.domain()))) {
           slot = model;
+          changed = true;
         }
+      }
+      // The bump happens under the SAME lock as the writes: any reader
+      // that observes a changed entry through the lock also observes the
+      // moved version, so its freshness re-check below cannot miss it.
+      if (changed) model_version_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    // --- Build the snapshots from the verified Phase A/B models. -------
+    // Snapshots are stamped with the PRE-resolution version: when this
+    // resolve (or a concurrent one) changed models, they self-expire and
+    // the next query performs one cheap all-Phase-A refresh, then
+    // stabilizes. Stamping the post-change version instead could mask a
+    // concurrent generation's update forever.
+    const bool version_moved =
+        changed ||
+        model_version_.load(std::memory_order_acquire) != version;
+    for (const std::size_t i : stale) {
+      const std::vector<int>& ids = points[i]->ids();
+      auto snap = std::make_shared<ResolvedSlots>();
+      snap->assign(ids.size(), version);
+      for (std::size_t k = 0; k < ids.size(); ++k) {
+        const auto it = resolved.find(ids[k]);
+        if (it == resolved.end()) continue;  // degenerate-only key
+        snap->set(k, it->second);
+      }
+      // With a moved version this snapshot is only the base for the
+      // upgrade pass below, which builds (and stores) the final one.
+      if (!version_moved) points[i]->store_slots(snap);
+      (*slots)[i] = std::move(snap);
+    }
+
+    // When some model changed (here or on a concurrent thread) while this
+    // resolve was reading, the per-point results could mix model
+    // generations within ONE query (e.g. a ranking comparing candidates
+    // resolved before and after a regeneration). Upgrade every point's
+    // slots in a single locked pass over the cache: a slot moves to the
+    // cached model ONLY when that model covers the verified one's domain
+    // (hence the point's needs) -- a concurrently generated model for a
+    // disjoint range must not displace the model the point was verified
+    // against.
+    if (version_moved) {
+      std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const std::vector<int>& ids = points[i]->ids();
+        const ResolvedSlots& base = *(*slots)[i];
+        auto snap = std::make_shared<ResolvedSlots>();
+        snap->assign(ids.size(), version);
+        for (std::size_t k = 0; k < ids.size(); ++k) {
+          const auto id = static_cast<std::size_t>(ids[k]);
+          std::shared_ptr<const RoutineModel> use = base.pins[k];
+          if (id < cache_.size() && cache_[id] != nullptr &&
+              use != nullptr && cache_[id] != use &&
+              cache_[id]->model.domain().dims() ==
+                  use->model.domain().dims() &&
+              cache_[id]->model.domain().covers(use->model.domain())) {
+            use = cache_[id];
+          }
+          snap->set(k, std::move(use));
+        }
+        points[i]->store_slots(snap);
+        (*slots)[i] = std::move(snap);
       }
     }
     return {};
@@ -264,29 +383,29 @@ Status Engine::resolve(const std::vector<const CallTrace*>& traces,
   }
 }
 
-Result<Prediction> Engine::predict_trace(const CallTrace& trace,
-                                         const SystemSpec& system,
-                                         const PlanFn& plan) noexcept {
-  try {
-    Resolution res;
-    if (Status s = resolve({&trace}, system, &res, plan); !s.ok()) return s;
-    if (config_.query_hook) config_.query_hook();
-    return predict_with_table(trace, res.ids[0], res.table,
-                              config_.prediction);
-  } catch (const std::exception& e) {
-    return internal_error("Engine::predict", e);
-  }
-}
+// ---------------------------------------------------------------- queries
 
 Result<Prediction> Engine::predict(const PredictQuery& query) noexcept {
   try {
     const SystemSpec system = effective_system(query.system);
+    std::shared_ptr<CompiledSweepPoint> point;
+    PlanFn plan;
     if (query.spec.has_value()) {
       if (Status s = query.spec->validate(); !s.ok()) return s;
-      return predict_trace(query.spec->trace(), system,
-                           spec_plan({*query.spec}, system));
+      point = compile_spec(*query.spec, system);
+      plan = spec_plan({*query.spec}, system);
+    } else {
+      point = compile_trace(query.trace, system);
+      plan = [trace = &query.trace, system, policy = config_.planning] {
+        return plan_jobs(*trace, system, policy);
+      };
     }
-    return predict_trace(query.trace, system);
+    std::vector<std::shared_ptr<const ResolvedSlots>> slots;
+    if (Status s = resolve({point.get()}, system, plan, &slots); !s.ok()) {
+      return s;
+    }
+    if (config_.query_hook) config_.query_hook();
+    return point->trace().predict(slots[0]->models);
   } catch (const std::exception& e) {
     return internal_error("Engine::predict", e);
   }
@@ -299,29 +418,28 @@ Result<Ranking> Engine::rank(const RankQuery& query) noexcept {
                            "rank: empty candidate set");
     }
     const SystemSpec system = effective_system(query.system);
-    std::vector<CallTrace> traces;
-    traces.reserve(query.candidates.size());
+    std::vector<std::shared_ptr<CompiledSweepPoint>> points;
+    points.reserve(query.candidates.size());
     for (const OperationSpec& spec : query.candidates) {
       if (Status s = spec.validate(); !s.ok()) return s;
-      traces.push_back(spec.trace());
+      points.push_back(compile_spec(spec, system));
     }
-    std::vector<const CallTrace*> ptrs;
-    ptrs.reserve(traces.size());
-    for (const CallTrace& t : traces) ptrs.push_back(&t);
+    std::vector<const CompiledSweepPoint*> ptrs;
+    ptrs.reserve(points.size());
+    for (const auto& p : points) ptrs.push_back(p.get());
 
-    Resolution res;
-    if (Status s = resolve(ptrs, system, &res,
-                           spec_plan(query.candidates, system));
+    std::vector<std::shared_ptr<const ResolvedSlots>> slots;
+    if (Status s = resolve(ptrs, system, spec_plan(query.candidates, system),
+                           &slots);
         !s.ok()) {
       return s;
     }
 
     Ranking out;
     out.candidates = query.candidates;
-    out.predictions.reserve(traces.size());
-    for (std::size_t i = 0; i < traces.size(); ++i) {
-      out.predictions.push_back(predict_with_table(
-          traces[i], res.ids[i], res.table, config_.prediction));
+    out.predictions.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      out.predictions.push_back(points[i]->trace().predict(slots[i]->models));
     }
     out.order = rank_order(out.median_ticks());
     return out;
@@ -340,29 +458,28 @@ Result<TuneResult> Engine::tune(const TuneQuery& query) noexcept {
     const SystemSpec system = effective_system(query.system);
     TuneResult out;
     std::vector<OperationSpec> specs;
-    std::vector<CallTrace> traces;
+    std::vector<std::shared_ptr<CompiledSweepPoint>> points;
     for (index_t b = query.lo; b <= query.hi; b += query.step) {
       OperationSpec spec = query.spec;
       spec.blocksize = b;
       if (Status s = spec.validate(); !s.ok()) return s;
       out.values.push_back(b);
-      traces.push_back(spec.trace());
+      points.push_back(compile_spec(spec, system));
       specs.push_back(std::move(spec));
     }
-    std::vector<const CallTrace*> ptrs;
-    ptrs.reserve(traces.size());
-    for (const CallTrace& t : traces) ptrs.push_back(&t);
+    std::vector<const CompiledSweepPoint*> ptrs;
+    ptrs.reserve(points.size());
+    for (const auto& p : points) ptrs.push_back(p.get());
 
-    Resolution res;
-    if (Status s = resolve(ptrs, system, &res, spec_plan(specs, system));
+    std::vector<std::shared_ptr<const ResolvedSlots>> slots;
+    if (Status s = resolve(ptrs, system, spec_plan(specs, system), &slots);
         !s.ok()) {
       return s;
     }
 
-    out.predictions.reserve(traces.size());
-    for (std::size_t i = 0; i < traces.size(); ++i) {
-      out.predictions.push_back(predict_with_table(
-          traces[i], res.ids[i], res.table, config_.prediction));
+    out.predictions.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      out.predictions.push_back(points[i]->trace().predict(slots[i]->models));
     }
     out.best_index = static_cast<index_t>(rank_order(out.median_ticks())[0]);
     return out;
@@ -383,8 +500,10 @@ Result<SampleStats> Engine::predict_call(
     } catch (const invalid_argument_error& e) {
       return Status::error(StatusCode::InvalidQuery, e.what());
     }
-    const CallTrace trace{call};
-    Result<Prediction> p = predict_trace(trace, effective_system(system));
+    PredictQuery query;
+    query.trace = CallTrace{std::move(call)};
+    query.system = system;
+    Result<Prediction> p = predict(query);
     if (!p.ok()) return p.status();
     return p->ticks;
   } catch (const std::exception& e) {
@@ -435,17 +554,17 @@ Status Engine::prepare(const std::vector<OperationSpec>& specs,
                        std::optional<SystemSpec> system) noexcept {
   try {
     const SystemSpec sys = effective_system(system);
-    std::vector<CallTrace> traces;
-    traces.reserve(specs.size());
+    std::vector<std::shared_ptr<CompiledSweepPoint>> points;
+    points.reserve(specs.size());
     for (const OperationSpec& spec : specs) {
       if (Status s = spec.validate(); !s.ok()) return s;
-      traces.push_back(spec.trace());
+      points.push_back(compile_spec(spec, sys));
     }
-    std::vector<const CallTrace*> ptrs;
-    ptrs.reserve(traces.size());
-    for (const CallTrace& t : traces) ptrs.push_back(&t);
-    Resolution res;
-    return resolve(ptrs, sys, &res, spec_plan(specs, sys));
+    std::vector<const CompiledSweepPoint*> ptrs;
+    ptrs.reserve(points.size());
+    for (const auto& p : points) ptrs.push_back(p.get());
+    std::vector<std::shared_ptr<const ResolvedSlots>> slots;
+    return resolve(ptrs, sys, spec_plan(specs, sys), &slots);
   } catch (const std::exception& e) {
     return internal_error("Engine::prepare", e);
   }

@@ -17,13 +17,18 @@
 //   - batched and async entry points: predict_many fans independent
 //     queries out across the service's ThreadPool; submit returns a
 //     std::future;
-//   - an interned resolver fast path: (routine, backend, locality, flags)
-//     keys are interned to dense ids (api/intern.hpp) and models cached in
-//     a flat table, so the per-call predict loop is array indexing
-//     (predict_with_table) instead of string-keyed map lookups under a
-//     mutex.
+//   - the compiled sweep path: every query point is compiled to a
+//     CompiledTrace (deduped calls, predict/compiled_trace.hpp) with its
+//     resolver keys interned to dense ids (api/intern.hpp) and its models
+//     held in a versioned slot snapshot; compiled points are cached in a
+//     sharded LRU keyed by (family, variant, sizes, blocksize, system)
+//     (api/trace_cache.hpp), so a repeated or overlapping sweep skips
+//     trace generation, compilation, interning and model resolution, and
+//     prediction evaluates each model once per unique call.
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -37,6 +42,7 @@
 #include "api/plan.hpp"
 #include "api/query.hpp"
 #include "api/result.hpp"
+#include "api/trace_cache.hpp"
 #include "service/model_service.hpp"
 
 namespace dlap {
@@ -57,6 +63,9 @@ struct EngineConfig {
   /// Prediction accumulation options. `strict` is ignored: the engine
   /// reports missing models through Result statuses, never exceptions.
   PredictionOptions prediction;
+  /// Compiled sweep points kept in the trace cache (0 disables caching;
+  /// every spec query then recompiles its trace).
+  index_t trace_cache_capacity = 4096;
   /// Test/bench hook: invoked once per predict-query evaluation, after
   /// model resolution and before the accumulation loop. Lets throughput
   /// benches make queries latency-bound to measure dispatch overlap
@@ -119,46 +128,57 @@ class Engine {
   // ----------------------------------------------------------- warm-up
 
   /// Generates every model the specs need (union of their traces) as one
-  /// concurrent batch and warms the resolver cache -- call before a query
-  /// sweep so no query pays generation latency.
+  /// concurrent batch and warms the resolver cache AND the compiled-trace
+  /// cache -- call before a query sweep so no query pays generation or
+  /// compilation latency.
   [[nodiscard]] Status prepare(const std::vector<OperationSpec>& specs,
                                std::optional<SystemSpec> system = {}) noexcept;
 
-  /// Resolver keys interned so far (observability).
+  // ----------------------------------------------------- observability
+
+  /// Resolver keys interned so far.
   [[nodiscard]] std::size_t interned_keys() const { return interner_.size(); }
 
+  /// Compiled-trace cache counters (hits/misses/evictions/size).
+  [[nodiscard]] LruStats trace_cache_stats() const {
+    return trace_cache_.stats();
+  }
+
+  /// Drops every cached compiled sweep point (model caches are
+  /// unaffected). Mainly for benchmarks that measure the cold path.
+  void clear_trace_cache() { trace_cache_.clear(); }
+
  private:
-  /// Per-resolution view: call-aligned interned ids per trace plus the
-  /// dense id -> model table the hot loop indexes. `pins` keeps the table
-  /// entries alive for the view's lifetime.
-  struct Resolution {
-    std::vector<std::vector<int>> ids;
-    std::vector<const RoutineModel*> table;
-    std::vector<std::shared_ptr<const RoutineModel>> pins;
-  };
+  /// Lazily produces the modeling jobs of the current query; only invoked
+  /// when some model is missing. Spec-based queries plan through the
+  /// OperationRegistry's per-family domain planners
+  /// (plan_jobs_for_specs); raw-trace queries fall back to trace-driven
+  /// planning (api/plan.hpp).
+  using PlanFn = std::function<std::vector<ModelJob>()>;
 
   [[nodiscard]] SystemSpec effective_system(
       const std::optional<SystemSpec>& override_spec) const {
     return override_spec.value_or(config_.system);
   }
 
-  /// Lazily produces the modeling jobs of the current query; only invoked
-  /// when some model is missing. Spec-based queries plan through the
-  /// OperationRegistry's per-family domain planners
-  /// (plan_jobs_for_specs); an empty function falls back to trace-driven
-  /// planning (api/plan.hpp) for raw-trace queries.
-  using PlanFn = std::function<std::vector<ModelJob>()>;
+  /// Compiles a raw trace into an (uncached) sweep point: dedupe the
+  /// calls, intern the resolver keys under `system`.
+  [[nodiscard]] std::shared_ptr<CompiledSweepPoint> compile_trace(
+      const CallTrace& trace, const SystemSpec& system);
 
-  /// Interns every call of every trace, fills the id -> model table
-  /// (engine cache -> repository -> on-demand generation), and verifies
-  /// the models cover the traces' parameter points.
-  [[nodiscard]] Status resolve(const std::vector<const CallTrace*>& traces,
-                               const SystemSpec& system, Resolution* out,
-                               const PlanFn& plan = {}) noexcept;
+  /// Cached compilation of a validated spec: trace-cache lookup, or
+  /// trace + compile + intern + insert on a miss.
+  [[nodiscard]] std::shared_ptr<CompiledSweepPoint> compile_spec(
+      const OperationSpec& spec, const SystemSpec& system);
 
-  [[nodiscard]] Result<Prediction> predict_trace(
-      const CallTrace& trace, const SystemSpec& system,
-      const PlanFn& plan = {}) noexcept;
+  /// Produces one current slot snapshot per sweep point: fresh snapshots
+  /// are reused as-is; stale ones trigger model resolution (engine cache
+  /// -> repository -> on-demand generation), coverage verification
+  /// against the points' unique calls, and a version-stamped rebuild.
+  [[nodiscard]] Status resolve(
+      const std::vector<const CompiledSweepPoint*>& points,
+      const SystemSpec& system, const PlanFn& plan,
+      std::vector<std::shared_ptr<const ResolvedSlots>>* slots) noexcept;
 
   /// PlanFn for a spec-based query: registry-planned jobs for `specs`.
   [[nodiscard]] PlanFn spec_plan(std::vector<OperationSpec> specs,
@@ -176,9 +196,17 @@ class Engine {
   // Model cache indexed by interned id; entries only ever widen (a model
   // is replaced by one covering a larger domain). Readers snapshot under
   // the shared lock and pin entries via shared_ptr, so the predict loop
-  // itself runs lock-free on its local table.
+  // itself runs lock-free on its local snapshot.
   mutable std::shared_mutex cache_mutex_;
   std::vector<std::shared_ptr<const RoutineModel>> cache_;
+
+  // Monotonic model-cache version: bumped whenever an entry of cache_
+  // changes, which is what invalidates ResolvedSlots snapshots
+  // (invalidation-on-regeneration for the compiled sweep path).
+  std::atomic<std::uint64_t> model_version_{0};
+
+  // Compiled sweep points, shared across all queries of this engine.
+  mutable CompiledTraceCache trace_cache_;
 
   // Outstanding submit() tasks; ~Engine waits for zero.
   std::mutex pending_mutex_;

@@ -4,20 +4,22 @@
 
 namespace dlap {
 
-int KeyInterner::intern(const ModelKey& key) {
+int KeyInterner::intern(const ModelKeyRef& key) {
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     const auto it = ids_.find(key);
     if (it != ids_.end()) return it->second;
   }
   std::unique_lock<std::shared_mutex> lock(mutex_);
-  const auto [it, inserted] =
-      ids_.emplace(key, static_cast<int>(ids_.size()));
-  (void)inserted;  // a racing intern of the same key wins identically
-  return it->second;
+  // Re-probe under the exclusive lock (another thread may have won), and
+  // only materialize the owned key for a genuinely new id.
+  const auto it = ids_.find(key);
+  if (it != ids_.end()) return it->second;
+  return ids_.emplace(key.materialize(), static_cast<int>(ids_.size()))
+      .first->second;
 }
 
-int KeyInterner::find(const ModelKey& key) const {
+int KeyInterner::find(const ModelKeyRef& key) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = ids_.find(key);
   return it == ids_.end() ? -1 : it->second;

@@ -3,8 +3,13 @@
 // locality, flags) to dense integer ids assigned in first-seen order. Ids
 // never change once assigned, so flat arrays indexed by id replace
 // string-keyed map lookups on the predict hot path -- the engine resolves
-// a trace's keys to ids once, then the per-call loop is pure array
-// indexing (predict_with_table in predict/predictor.hpp).
+// a compiled trace's keys to ids once, then prediction is pure array
+// indexing.
+//
+// Lookups are heterogeneous: a ModelKeyRef carries string_views, so
+// probing the interner from trace data never constructs a temporary
+// ModelKey (four std::string copies) -- the key is only materialized when
+// a genuinely new id is assigned.
 
 #include <map>
 #include <shared_mutex>
@@ -17,17 +22,23 @@ class KeyInterner {
  public:
   /// Returns the key's id, assigning the next dense id on first sight.
   /// Thread-safe; ids are stable for the interner's lifetime.
-  [[nodiscard]] int intern(const ModelKey& key);
+  [[nodiscard]] int intern(const ModelKeyRef& key);
+  [[nodiscard]] int intern(const ModelKey& key) {
+    return intern(ModelKeyRef::of(key));
+  }
 
   /// The key's id, or -1 when it has never been interned.
-  [[nodiscard]] int find(const ModelKey& key) const;
+  [[nodiscard]] int find(const ModelKeyRef& key) const;
+  [[nodiscard]] int find(const ModelKey& key) const {
+    return find(ModelKeyRef::of(key));
+  }
 
   /// Number of ids assigned so far (ids are 0 .. size()-1).
   [[nodiscard]] std::size_t size() const;
 
  private:
   mutable std::shared_mutex mutex_;
-  std::map<ModelKey, int> ids_;
+  std::map<ModelKey, int, ModelKeyLess> ids_;
 };
 
 }  // namespace dlap

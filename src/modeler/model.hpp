@@ -6,7 +6,15 @@
 // containing the query point (when several overlap, the most accurate one
 // wins -- the paper's footnote 6), evaluate its polynomial, yielding
 // estimates for every statistical quantity.
+//
+// Region selection runs through a lazily built per-axis interval grid (the
+// "region index"): piece boundaries cut every axis into sorted cells, each
+// cell precomputing its winning piece, so a lookup is one binary search
+// per axis instead of a linear scan over all pieces. The index is built on
+// first evaluate() and is semantically invisible -- results are
+// bit-identical to the linear most-accurate-containing-region scan.
 
+#include <atomic>
 #include <vector>
 
 #include "modeler/polynomial.hpp"
@@ -27,6 +35,11 @@ class PiecewiseModel {
  public:
   PiecewiseModel() = default;
   PiecewiseModel(Region domain, std::vector<RegionModel> pieces);
+  PiecewiseModel(const PiecewiseModel& other);
+  PiecewiseModel(PiecewiseModel&& other) noexcept;
+  PiecewiseModel& operator=(const PiecewiseModel& other);
+  PiecewiseModel& operator=(PiecewiseModel&& other) noexcept;
+  ~PiecewiseModel();
 
   [[nodiscard]] const Region& domain() const { return domain_; }
   [[nodiscard]] const std::vector<RegionModel>& pieces() const {
@@ -43,6 +56,13 @@ class PiecewiseModel {
   [[nodiscard]] SampleStats evaluate(const std::vector<double>& point) const;
   [[nodiscard]] SampleStats evaluate(const std::vector<index_t>& point) const;
 
+  /// Batched evaluation: out[i] bit-identical to evaluate(*points[i]).
+  /// Points are grouped by winning region, so each region's polynomial is
+  /// evaluated over its whole batch with shared scratch buffers (and the
+  /// region index is consulted once per point, never rebuilt).
+  void evaluate_many(const std::vector<const std::vector<double>*>& points,
+                     std::vector<SampleStats>& out) const;
+
   /// Sample-count-weighted average of the per-region mean relative errors
   /// (the "average error" axis of the paper's Fig III.8).
   [[nodiscard]] double average_error() const;
@@ -52,8 +72,33 @@ class PiecewiseModel {
   [[nodiscard]] index_t total_samples() const;
 
  private:
+  struct RegionIndex;  // defined in model.cpp
+
+  /// The lazily built index (thread-safe: losers of the build race delete
+  /// their copy and use the winner's).
+  [[nodiscard]] const RegionIndex& index() const;
+
+  /// Most accurate piece containing `point`, or nullptr when none does
+  /// (the caller then projects onto the nearest piece). Consults the
+  /// region index for in-grid lattice points and falls back to the
+  /// reference linear scan otherwise -- identical results either way.
+  [[nodiscard]] const RegionModel* containing_piece(
+      const std::vector<double>& point) const;
+
+  /// Reference path: linear most-accurate-containing-region scan.
+  [[nodiscard]] const RegionModel* containing_piece_linear(
+      const std::vector<double>& point) const;
+
+  /// Projection fallback for uncontained points: nearest piece + clamped
+  /// evaluation point.
+  [[nodiscard]] SampleStats evaluate_projected(
+      const std::vector<double>& point) const;
+
   Region domain_;
   std::vector<RegionModel> pieces_;
+  // Owned index, built on first evaluate. Copies/moves reset it (it holds
+  // raw piece indices, cheap to rebuild).
+  mutable std::atomic<const RegionIndex*> index_{nullptr};
 };
 
 }  // namespace dlap

@@ -11,12 +11,7 @@ std::string ModelKey::to_string() const {
 }
 
 bool ModelKey::operator<(const ModelKey& o) const {
-  if (routine != o.routine) return routine < o.routine;
-  if (backend != o.backend) return backend < o.backend;
-  if (locality != o.locality) {
-    return static_cast<int>(locality) < static_cast<int>(o.locality);
-  }
-  return flags < o.flags;
+  return ModelKeyLess::less(ModelKeyRef::of(*this), ModelKeyRef::of(o));
 }
 
 ModelKey model_key_for(const ModelingRequest& request,

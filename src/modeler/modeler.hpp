@@ -7,6 +7,7 @@
 // situation" of Section III-B.
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "blas/backend.hpp"
@@ -28,6 +29,56 @@ struct ModelKey {
   [[nodiscard]] std::string to_string() const;
   [[nodiscard]] bool operator==(const ModelKey&) const = default;
   [[nodiscard]] bool operator<(const ModelKey& o) const;
+};
+
+/// A borrowed view of a ModelKey; the referenced storage must outlive the
+/// call it is passed to. Hot-path lookups (the engine's key interner)
+/// probe with refs assembled straight from trace data, so no temporary
+/// strings are constructed.
+struct ModelKeyRef {
+  std::string_view routine;
+  std::string_view backend;
+  Locality locality = Locality::InCache;
+  std::string_view flags;
+
+  [[nodiscard]] static ModelKeyRef of(const ModelKey& key) noexcept {
+    return {key.routine, key.backend, key.locality, key.flags};
+  }
+
+  [[nodiscard]] ModelKey materialize() const {
+    return ModelKey{std::string(routine), std::string(backend), locality,
+                    std::string(flags)};
+  }
+};
+
+/// Transparent strict-weak-order over ModelKey / ModelKeyRef mixes. This
+/// is THE ModelKey ordering: ModelKey::operator< delegates here, so the
+/// heterogeneous and native comparisons can never drift apart.
+struct ModelKeyLess {
+  using is_transparent = void;
+
+  [[nodiscard]] static bool less(const ModelKeyRef& a,
+                                 const ModelKeyRef& b) noexcept {
+    if (a.routine != b.routine) return a.routine < b.routine;
+    if (a.backend != b.backend) return a.backend < b.backend;
+    if (a.locality != b.locality) {
+      return static_cast<int>(a.locality) < static_cast<int>(b.locality);
+    }
+    return a.flags < b.flags;
+  }
+
+  template <class A, class B>
+  [[nodiscard]] bool operator()(const A& a, const B& b) const noexcept {
+    return less(ref(a), ref(b));
+  }
+
+ private:
+  [[nodiscard]] static ModelKeyRef ref(const ModelKey& k) noexcept {
+    return ModelKeyRef::of(k);
+  }
+  [[nodiscard]] static ModelKeyRef ref(const ModelKeyRef& k) noexcept {
+    return k;
+  }
 };
 
 /// A generated model plus provenance.

@@ -48,14 +48,20 @@ index_t monomial_count(int dims, int degree) {
 }
 
 std::vector<double> Normalization::apply(const std::vector<double>& x) const {
+  std::vector<double> z;
+  apply_into(x, z);
+  return z;
+}
+
+void Normalization::apply_into(const std::vector<double>& x,
+                               std::vector<double>& z) const {
   DLAP_REQUIRE(x.size() == shift.size() && x.size() == scale.size(),
                "normalization dimension mismatch");
-  std::vector<double> z(x.size());
+  z.resize(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) {
     const double s = (scale[i] != 0.0) ? scale[i] : 1.0;
     z[i] = (x[i] - shift[i]) / s;
   }
-  return z;
 }
 
 void evaluate_basis(const std::vector<std::vector<int>>& basis,
@@ -92,7 +98,8 @@ double Polynomial::evaluate(const std::vector<double>& x) const {
 VecPolynomial::VecPolynomial(int dims, int degree, Normalization norm,
                              std::vector<std::vector<double>> coeffs_per_stat)
     : dims_(dims), degree_(degree), norm_(std::move(norm)),
-      coeffs_(std::move(coeffs_per_stat)) {
+      coeffs_(std::move(coeffs_per_stat)),
+      basis_(monomial_basis(dims, degree)) {
   DLAP_REQUIRE(coeffs_.size() == static_cast<std::size_t>(kStatCount),
                "need one coefficient vector per statistic");
   for (const auto& c : coeffs_) {
@@ -102,11 +109,11 @@ VecPolynomial::VecPolynomial(int dims, int degree, Normalization norm,
   }
 }
 
-SampleStats VecPolynomial::evaluate(const std::vector<double>& x) const {
-  const std::vector<double> z = norm_.apply(x);
-  const auto basis = monomial_basis(dims_, degree_);
-  std::vector<double> phi;
-  evaluate_basis(basis, z, phi);
+SampleStats VecPolynomial::evaluate_into(const std::vector<double>& x,
+                                         std::vector<double>& z,
+                                         std::vector<double>& phi) const {
+  norm_.apply_into(x, z);
+  evaluate_basis(basis_, z, phi);
   SampleStats out;
   for (int s = 0; s < kStatCount; ++s) {
     double v = 0.0;
@@ -118,12 +125,28 @@ SampleStats VecPolynomial::evaluate(const std::vector<double>& x) const {
   return out;
 }
 
+SampleStats VecPolynomial::evaluate(const std::vector<double>& x) const {
+  std::vector<double> z;
+  std::vector<double> phi;
+  return evaluate_into(x, z, phi);
+}
+
+void VecPolynomial::evaluate_many(
+    const std::vector<const std::vector<double>*>& points,
+    std::vector<SampleStats>& out) const {
+  out.resize(points.size());
+  std::vector<double> z;
+  std::vector<double> phi;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out[i] = evaluate_into(*points[i], z, phi);
+  }
+}
+
 double VecPolynomial::evaluate_stat(Stat s,
                                     const std::vector<double>& x) const {
   const std::vector<double> z = norm_.apply(x);
-  const auto basis = monomial_basis(dims_, degree_);
   std::vector<double> phi;
-  evaluate_basis(basis, z, phi);
+  evaluate_basis(basis_, z, phi);
   double v = 0.0;
   const auto& c = coeffs_[static_cast<std::size_t>(s)];
   for (std::size_t m = 0; m < phi.size(); ++m) v += c[m] * phi[m];

@@ -29,6 +29,11 @@ struct Normalization {
 
   [[nodiscard]] std::vector<double> apply(
       const std::vector<double>& x) const;
+
+  /// apply() into caller-provided scratch (the hot evaluation path); the
+  /// one implementation both share, so fit-time and predict-time
+  /// normalization can never drift apart.
+  void apply_into(const std::vector<double>& x, std::vector<double>& z) const;
 };
 
 /// Scalar polynomial: basis metadata plus one coefficient per monomial.
@@ -57,7 +62,10 @@ class Polynomial {
 };
 
 /// Vector-valued polynomial: one scalar polynomial per Stat, sharing basis
-/// and normalization (stored as a coefficient matrix).
+/// and normalization (stored as a coefficient matrix). The monomial basis
+/// is computed once at construction, so evaluation is normalization +
+/// basis products + dot products only -- this class sits on the predict
+/// hot path.
 class VecPolynomial {
  public:
   VecPolynomial() = default;
@@ -77,15 +85,28 @@ class VecPolynomial {
   /// (all of ours: tick summaries) are clamped at 0.
   [[nodiscard]] SampleStats evaluate(const std::vector<double>& x) const;
 
+  /// Batched evaluation: one SampleStats per point, out[i] bit-identical
+  /// to evaluate(*points[i]). The normalization/basis scratch buffers are
+  /// allocated once for the whole batch instead of per point.
+  void evaluate_many(const std::vector<const std::vector<double>*>& points,
+                     std::vector<SampleStats>& out) const;
+
   /// Evaluates a single statistic (no clamping).
   [[nodiscard]] double evaluate_stat(Stat s,
                                      const std::vector<double>& x) const;
 
  private:
+  /// Shared per-point kernel of evaluate / evaluate_many: z and phi are
+  /// caller-provided scratch, resized as needed.
+  [[nodiscard]] SampleStats evaluate_into(const std::vector<double>& x,
+                                          std::vector<double>& z,
+                                          std::vector<double>& phi) const;
+
   int dims_ = 0;
   int degree_ = 0;
   Normalization norm_;
   std::vector<std::vector<double>> coeffs_;  // [stat][monomial]
+  std::vector<std::vector<int>> basis_;      // cached monomial exponents
 };
 
 /// Evaluates the monomial basis at normalized point z (helper shared by

@@ -72,6 +72,16 @@ double Region::distance(const std::vector<double>& p) const {
   return dist;
 }
 
+std::vector<double> Region::clamp(const std::vector<double>& p) const {
+  DLAP_REQUIRE(static_cast<int>(p.size()) == dims(), "point dim mismatch");
+  std::vector<double> c = p;
+  for (int d = 0; d < dims(); ++d) {
+    c[d] = std::clamp(c[d], static_cast<double>(lo_[d]),
+                      static_cast<double>(hi_[d]));
+  }
+  return c;
+}
+
 std::vector<double> Region::center() const {
   std::vector<double> c(static_cast<std::size_t>(dims()));
   for (int d = 0; d < dims(); ++d) {

@@ -43,6 +43,10 @@ class Region {
   /// L-infinity distance from p to the region (0 when inside).
   [[nodiscard]] double distance(const std::vector<double>& p) const;
 
+  /// Projects p onto the region: each coordinate clamped into [lo, hi]
+  /// (the model-evaluation policy for points no region contains).
+  [[nodiscard]] std::vector<double> clamp(const std::vector<double>& p) const;
+
   /// Center point (real-valued).
   [[nodiscard]] std::vector<double> center() const;
 

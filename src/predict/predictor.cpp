@@ -64,8 +64,8 @@ void ModelSet::add(std::shared_ptr<const RoutineModel> model) {
   models_.insert_or_assign(std::move(key), std::move(model));
 }
 
-const RoutineModel* ModelSet::find(const std::string& routine,
-                                   const std::string& flags) const {
+const RoutineModel* ModelSet::find(std::string_view routine,
+                                   std::string_view flags) const {
   const auto it = models_.find(std::make_pair(routine, flags));
   return it == models_.end() ? nullptr : it->second.get();
 }
@@ -82,8 +82,8 @@ double Prediction::efficiency_median(double total_flops) const {
 }
 
 Predictor::Predictor(const ModelSet& models, PredictionOptions options)
-    : resolve_([set = &models](const std::string& routine,
-                               const std::string& flags) {
+    : resolve_([set = &models](std::string_view routine,
+                               std::string_view flags) {
         return set->find(routine, flags);
       }),
       options_(options) {}
@@ -95,7 +95,7 @@ Predictor::Predictor(ModelResolver resolver, PredictionOptions options)
 
 SampleStats Predictor::predict_call(const KernelCall& call) const {
   const RoutineModel* m =
-      resolve_(routine_name(call.routine), call.flag_key());
+      resolve_(routine_name(call.routine), call.flag_view());
   if (m == nullptr) throw_missing(call);
   return m->model.evaluate(call.sizes);
 }
@@ -104,7 +104,8 @@ Prediction Predictor::predict(const CallTrace& trace) const {
   return accumulate_trace(
       trace, options_,
       [this](const KernelCall& call, std::size_t) {
-        return resolve_(routine_name(call.routine), call.flag_key());
+        // Views straight off the call: no string construction per call.
+        return resolve_(routine_name(call.routine), call.flag_view());
       },
       [this](const KernelCall& call) {
         if (options_.strict) throw_missing(call);
@@ -116,7 +117,7 @@ PredictReport Predictor::predict_report(const CallTrace& trace) const {
   report.prediction = accumulate_trace(
       trace, options_,
       [this](const KernelCall& call, std::size_t) {
-        return resolve_(routine_name(call.routine), call.flag_key());
+        return resolve_(routine_name(call.routine), call.flag_view());
       },
       [&report](const KernelCall& call) {
         auto key = std::make_pair(std::string(routine_name(call.routine)),

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -16,6 +17,21 @@
 #include "sampler/stats.hpp"
 
 namespace dlap {
+
+/// Transparent order over (routine, flags) pairs: lookups probe with
+/// string_views straight off trace data, no temporary pair of strings per
+/// resolved call.
+struct RoutineFlagsLess {
+  using is_transparent = void;
+
+  template <class A1, class A2, class B1, class B2>
+  [[nodiscard]] bool operator()(const std::pair<A1, A2>& a,
+                                const std::pair<B1, B2>& b) const noexcept {
+    const std::string_view ar(a.first), br(b.first);
+    if (ar != br) return ar < br;
+    return std::string_view(a.second) < std::string_view(b.second);
+  }
+};
 
 /// In-memory set of models used by a prediction run; normally all entries
 /// share one backend and locality (one "system" in the paper's sense).
@@ -28,8 +44,8 @@ class ModelSet {
   void add(std::shared_ptr<const RoutineModel> model);
 
   /// nullptr when no model covers (routine, flags).
-  [[nodiscard]] const RoutineModel* find(const std::string& routine,
-                                         const std::string& flags) const;
+  [[nodiscard]] const RoutineModel* find(std::string_view routine,
+                                         std::string_view flags) const;
 
   [[nodiscard]] std::size_t size() const { return models_.size(); }
 
@@ -37,7 +53,7 @@ class ModelSet {
   // Keyed by routine + flag values; backend/locality are properties of the
   // set as a whole.
   std::map<std::pair<std::string, std::string>,
-           std::shared_ptr<const RoutineModel>>
+           std::shared_ptr<const RoutineModel>, RoutineFlagsLess>
       models_;
 };
 
@@ -83,10 +99,12 @@ struct PredictReport {
 /// Where a Predictor gets its models: maps (routine name, flag values) to
 /// a model, or nullptr when none covers the pair. The repository-backed
 /// predictor plugs lazy repository loads (and on-demand generation) in
-/// through this seam.
+/// through this seam. Arguments are views over the caller's trace data,
+/// valid only for the duration of the call -- resolvers that cache must
+/// copy them.
 using ModelResolver =
-    std::function<const RoutineModel*(const std::string& routine,
-                                      const std::string& flags)>;
+    std::function<const RoutineModel*(std::string_view routine,
+                                      std::string_view flags)>;
 
 class Predictor {
  public:

@@ -91,11 +91,34 @@ void TraceContext::sylv_unb(index_t m, index_t n, const double*, index_t ldl,
   trace_.push_back(std::move(c));
 }
 
+namespace {
+index_t ceil_div(index_t a, index_t b) { return b > 0 ? (a + b - 1) / b : 0; }
+}  // namespace
+
+index_t trace_trinv_calls(index_t n, index_t blocksize) {
+  // Per block iteration: at most a trmm, a trsm, a gemm and the unblocked
+  // diagonal call (the gemm-free variants simply stay under the bound).
+  return 4 * ceil_div(n, blocksize);
+}
+
+index_t trace_sylv_calls(index_t m, index_t n, index_t blocksize) {
+  // Per X block: the unblocked solve plus a bounded number of prefix
+  // updates (pull schedules fold the whole prefix into one gemm each).
+  return 4 * ceil_div(m, blocksize) * ceil_div(n, blocksize) +
+         ceil_div(m, blocksize) + ceil_div(n, blocksize);
+}
+
+index_t trace_chol_calls(index_t n, index_t blocksize) {
+  // Per block iteration: at most trsm, syrk, gemm and the unblocked call.
+  return 4 * ceil_div(n, blocksize);
+}
+
 CallTrace trace_trinv(int variant, index_t n, index_t blocksize) {
   // The algorithm only forms sub-block pointers; an untouched buffer keeps
   // that arithmetic valid without costing real memory pages.
   Matrix dummy(n, n);
   TraceContext ctx;
+  ctx.reserve(trace_trinv_calls(n, blocksize));
   trinv_blocked(ctx, variant, n, dummy.data(), n > 0 ? n : 1, blocksize);
   return ctx.take();
 }
@@ -103,6 +126,7 @@ CallTrace trace_trinv(int variant, index_t n, index_t blocksize) {
 CallTrace trace_sylv(int variant, index_t m, index_t n, index_t blocksize) {
   Matrix l(m, m), u(n, n), x(m, n);
   TraceContext ctx;
+  ctx.reserve(trace_sylv_calls(m, n, blocksize));
   sylv_blocked(ctx, variant, m, n, l.data(), m > 0 ? m : 1, u.data(),
                n > 0 ? n : 1, x.data(), m > 0 ? m : 1, blocksize);
   return ctx.take();
@@ -111,6 +135,7 @@ CallTrace trace_sylv(int variant, index_t m, index_t n, index_t blocksize) {
 CallTrace trace_chol(int variant, index_t n, index_t blocksize) {
   Matrix dummy(n, n);
   TraceContext ctx;
+  ctx.reserve(trace_chol_calls(n, blocksize));
   chol_blocked(ctx, variant, n, dummy.data(), n > 0 ? n : 1, blocksize);
   return ctx.take();
 }

@@ -17,8 +17,24 @@ using CallTrace = std::vector<KernelCall>;
 class TraceContext final : public KernelContext {
  public:
   [[nodiscard]] const CallTrace& trace() const noexcept { return trace_; }
-  [[nodiscard]] CallTrace take() { return std::move(trace_); }
+
+  /// Moves the recorded trace out and resets the context to a clean empty
+  /// state, so it is immediately reusable for another recording (a
+  /// moved-from vector is only valid-but-unspecified otherwise).
+  [[nodiscard]] CallTrace take() {
+    CallTrace out = std::move(trace_);
+    trace_.clear();
+    return out;
+  }
+
   void clear() { trace_.clear(); }
+
+  /// Pre-allocates storage for the expected number of calls (the trace
+  /// generators pass their family's call-count estimate, killing
+  /// reallocation churn during recording).
+  void reserve(index_t calls) {
+    if (calls > 0) trace_.reserve(static_cast<std::size_t>(calls));
+  }
 
   void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k,
             double alpha, const double* a, index_t lda, const double* b,
@@ -41,6 +57,15 @@ class TraceContext final : public KernelContext {
  private:
   CallTrace trace_;
 };
+
+/// Call-count estimates for the built-in blocked algorithms (slight upper
+/// bounds). The trace generators reserve() their storage from these, and
+/// callers sizing downstream structures (e.g. the trace compiler) may use
+/// them as capacity hints.
+[[nodiscard]] index_t trace_trinv_calls(index_t n, index_t blocksize);
+[[nodiscard]] index_t trace_sylv_calls(index_t m, index_t n,
+                                       index_t blocksize);
+[[nodiscard]] index_t trace_chol_calls(index_t n, index_t blocksize);
 
 /// Trace of trinv variant 1-4 on an n x n matrix (ldL = n) with the given
 /// block size; no numerical work is performed.

@@ -13,6 +13,7 @@
 // e.g.  dtrsm(R,L,N,U,512,128,0.37,A,256,B,512).
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "blas/backend.hpp"
@@ -70,6 +71,12 @@ struct KernelCall {
   /// routine has no flags).
   [[nodiscard]] std::string flag_key() const {
     return std::string(flags.begin(), flags.end());
+  }
+
+  /// flag_key without the allocation: a view over the stored flag values
+  /// (valid while the call is; the resolver hot path uses this).
+  [[nodiscard]] std::string_view flag_view() const noexcept {
+    return {flags.data(), flags.size()};
   }
 };
 

@@ -22,7 +22,7 @@ void RepositoryBackedPredictor::plan(ModelingRequest request) {
 }
 
 const RoutineModel* RepositoryBackedPredictor::State::resolve(
-    const std::string& routine, const std::string& flags) const {
+    std::string_view routine, std::string_view flags) const {
   {
     std::lock_guard<std::mutex> lock(mutex);
     if (const RoutineModel* hit = loaded.find(routine, flags)) return hit;
@@ -30,13 +30,14 @@ const RoutineModel* RepositoryBackedPredictor::State::resolve(
 
   // Resolve outside the lock: repository reads are cheap, but a plan miss
   // triggers a full on-demand generation. Concurrent resolves of one key
-  // are deduplicated inside the service.
+  // are deduplicated inside the service. Strings materialize only on this
+  // cold path -- the hit path above is all views.
   std::shared_ptr<const RoutineModel> model;
   ModelingRequest plan_request;
   bool have_plan = false;
   {
     std::lock_guard<std::mutex> lock(mutex);
-    const auto it = plans.find({routine, flags});
+    const auto it = plans.find(std::make_pair(routine, flags));
     if (it != plans.end()) {
       plan_request = it->second;
       have_plan = true;
@@ -45,7 +46,8 @@ const RoutineModel* RepositoryBackedPredictor::State::resolve(
   if (have_plan) {
     model = service->get_or_generate({plan_request, backend});
   } else {
-    model = service->find(ModelKey{routine, backend, locality, flags});
+    model = service->find(ModelKey{std::string(routine), backend, locality,
+                                   std::string(flags)});
   }
   if (model == nullptr) return nullptr;
 
@@ -59,8 +61,7 @@ const RoutineModel* RepositoryBackedPredictor::State::resolve(
 }
 
 ModelResolver RepositoryBackedPredictor::resolver() const {
-  return [state = state_](const std::string& routine,
-                          const std::string& flags) {
+  return [state = state_](std::string_view routine, std::string_view flags) {
     return state->resolve(routine, flags);
   };
 }

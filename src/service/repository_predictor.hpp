@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "predict/predictor.hpp"
 #include "service/model_service.hpp"
@@ -69,10 +70,14 @@ class RepositoryBackedPredictor {
     // Resolved models; entries pin their RoutineModel, so raw pointers
     // handed to the Predictor stay valid for the state's lifetime.
     mutable ModelSet loaded;
-    std::map<std::pair<std::string, std::string>, ModelingRequest> plans;
+    // Transparent comparator: hot-path misses probe with the resolver's
+    // string_views instead of building a pair of strings first.
+    std::map<std::pair<std::string, std::string>, ModelingRequest,
+             RoutineFlagsLess>
+        plans;
 
-    [[nodiscard]] const RoutineModel* resolve(const std::string& routine,
-                                              const std::string& flags) const;
+    [[nodiscard]] const RoutineModel* resolve(std::string_view routine,
+                                              std::string_view flags) const;
   };
 
   std::shared_ptr<State> state_;
