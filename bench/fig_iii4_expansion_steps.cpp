@@ -2,6 +2,12 @@
 // through Model Expansion (the paper shows this as a schematic; we emit
 // the actual construction event log of a real dtrsm model, which plots to
 // the same kind of picture).
+//
+// The event stream comes from the incremental step-machine interface
+// (make_expansion_stepper): the machine emits each batch of required
+// sample points, the bench fulfills it through the real Sampler, and
+// events are printed as soon as the machine produces them -- the same
+// code path the ModelService's batched generation drives.
 
 #include "support/bench_util.hpp"
 
@@ -25,23 +31,30 @@ int main() {
   cfg.initial_size = 64;
 
   Modeler modeler(backend_instance(system_a()));
-  const GenerationResult gen = modeler.run_expansion(req, cfg);
+  const MeasureFn measure = modeler.make_measure_fn(req);
+  auto stepper = make_expansion_stepper(req.domain, cfg);
 
   print_comment("Fig III.4: Model Expansion construction sequence for "
                 "dtrsm(L,L,N,N) on [8," + std::to_string(hi) + "]^2");
   print_header({"step", "event", "m_lo", "m_hi", "n_lo", "n_hi",
                 "error", "samples"});
-  const char* kind_names[] = {"new", "expand", "reject", "final", "split"};
+
+  std::size_t printed = 0;
   index_t step = 0;
-  for (const GenerationEvent& e : gen.events) {
-    std::printf("  %6lld %8s", static_cast<long long>(step++),
-                kind_names[static_cast<int>(e.kind)]);
-    print_row({static_cast<double>(e.region.lo(0)),
-               static_cast<double>(e.region.hi(0)),
-               static_cast<double>(e.region.lo(1)),
-               static_cast<double>(e.region.hi(1)), e.error,
-               static_cast<double>(e.samples_so_far)});
+  while (!stepper->done()) {
+    print_generation_events(*stepper, &printed, &step);
+    // Fulfill the machine's next batch (a region's sample grid) through
+    // the real Sampler and advance.
+    std::vector<SampleStats> stats;
+    stats.reserve(stepper->required().size());
+    for (const auto& point : stepper->required()) {
+      stats.push_back(measure(point));
+    }
+    stepper->supply(stats);
   }
+  print_generation_events(*stepper, &printed, &step);
+
+  const GenerationResult gen = stepper->take_result();
   print_comment("final model: " + std::to_string(gen.model.pieces().size()) +
                 " regions, " + std::to_string(gen.unique_samples) +
                 " samples, avg error " +

@@ -2,6 +2,12 @@
 // through Adaptive Refinement (real construction event log of a dtrsm
 // model: whole-domain region first, then recursive splits of inaccurate
 // regions, minimum-size regions accepted regardless).
+//
+// Driven through the incremental step-machine interface
+// (make_refinement_stepper): each batch of required points is fulfilled
+// through the real Sampler and events stream out as the machine produces
+// them -- the same code path the ModelService's batched generation
+// drives.
 
 #include "support/bench_util.hpp"
 
@@ -18,26 +24,31 @@ int main() {
   req.fixed_ld = 2500;
   req.sampler.reps = sc.reps;
 
-  RefinementConfig cfg = paper_refinement_config();
+  const RefinementConfig cfg = paper_refinement_config();
 
   Modeler modeler(backend_instance(system_a()));
-  const GenerationResult gen = modeler.run_refinement(req, cfg);
+  const MeasureFn measure = modeler.make_measure_fn(req);
+  auto stepper = make_refinement_stepper(req.domain, cfg);
 
   print_comment("Fig III.5: Adaptive Refinement construction sequence for "
                 "dtrsm(L,L,N,N) on [8," + std::to_string(hi) + "]^2");
   print_header({"step", "event", "m_lo", "m_hi", "n_lo", "n_hi",
                 "error", "samples"});
-  const char* kind_names[] = {"new", "expand", "reject", "final", "split"};
+
+  std::size_t printed = 0;
   index_t step = 0;
-  for (const GenerationEvent& e : gen.events) {
-    std::printf("  %6lld %8s", static_cast<long long>(step++),
-                kind_names[static_cast<int>(e.kind)]);
-    print_row({static_cast<double>(e.region.lo(0)),
-               static_cast<double>(e.region.hi(0)),
-               static_cast<double>(e.region.lo(1)),
-               static_cast<double>(e.region.hi(1)), e.error,
-               static_cast<double>(e.samples_so_far)});
+  while (!stepper->done()) {
+    print_generation_events(*stepper, &printed, &step);
+    std::vector<SampleStats> stats;
+    stats.reserve(stepper->required().size());
+    for (const auto& point : stepper->required()) {
+      stats.push_back(measure(point));
+    }
+    stepper->supply(stats);
   }
+  print_generation_events(*stepper, &printed, &step);
+
+  const GenerationResult gen = stepper->take_result();
   print_comment("final model: " + std::to_string(gen.model.pieces().size()) +
                 " regions, " + std::to_string(gen.unique_samples) +
                 " samples, avg error " +

@@ -61,6 +61,24 @@ void print_row(double x, const std::vector<double>& values) {
   std::printf("\n");
 }
 
+void print_generation_events(const GenerationStepper& stepper,
+                             std::size_t* printed, index_t* step) {
+  // Label order matches GenerationEvent::Kind.
+  static const char* kKindNames[] = {"new", "expand", "reject", "final",
+                                     "split"};
+  const auto& events = stepper.events();
+  for (; *printed < events.size(); ++*printed) {
+    const GenerationEvent& e = events[*printed];
+    std::printf("  %6lld %8s", static_cast<long long>((*step)++),
+                kKindNames[static_cast<int>(e.kind)]);
+    print_row({static_cast<double>(e.region.lo(0)),
+               static_cast<double>(e.region.hi(0)),
+               static_cast<double>(e.region.lo(1)),
+               static_cast<double>(e.region.hi(1)), e.error,
+               static_cast<double>(e.samples_so_far)});
+  }
+}
+
 namespace {
 std::string json_escape(const std::string& s) {
   std::string out;

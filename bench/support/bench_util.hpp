@@ -70,6 +70,13 @@ void print_header(const std::vector<std::string>& columns);
 void print_row(const std::vector<double>& values);
 void print_row(double x, const std::vector<double>& values);
 
+/// Streams a 2-D generation stepper's construction events as table rows
+/// (step, event kind, region bounds, error, samples) -- prints only the
+/// events produced since the previous call, advancing *printed / *step.
+/// Used by the fig_iii4/fig_iii5 walk-throughs between batches.
+void print_generation_events(const GenerationStepper& stepper,
+                             std::size_t* printed, index_t* step);
+
 // -------------------------------------------------- machine-readable out
 
 /// Tiny flat-JSON-object writer: the micro benches dump their headline

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <utility>
 
 #include "ops/registry.hpp"
@@ -551,9 +552,17 @@ std::future<Result<TuneResult>> Engine::submit(TuneQuery query) {
 }
 
 Status Engine::prepare(const std::vector<OperationSpec>& specs,
-                       std::optional<SystemSpec> system) noexcept {
+                       std::optional<SystemSpec> system,
+                       PrepareReport* report) noexcept {
   try {
     const SystemSpec sys = effective_system(system);
+    // Stats recorded after this stamp were caused by this call (the
+    // service stamps every generate/reuse record with a fresh epoch).
+    // The attribution is best-effort under concurrent engine use: a
+    // record another thread stamps while this prepare runs (overlapping
+    // prepare, or on-demand generation of a shared key) is claimed by
+    // whichever report reads it -- acceptable for a warm-up diagnostic.
+    const std::uint64_t epoch0 = service_.stats_epoch();
     std::vector<std::shared_ptr<CompiledSweepPoint>> points;
     points.reserve(specs.size());
     for (const OperationSpec& spec : specs) {
@@ -563,11 +572,72 @@ Status Engine::prepare(const std::vector<OperationSpec>& specs,
     std::vector<const CompiledSweepPoint*> ptrs;
     ptrs.reserve(points.size());
     for (const auto& p : points) ptrs.push_back(p.get());
+
+    // Memoize the plan: resolve computes it only when models are
+    // missing, and the report loop below reuses that same computation
+    // (planning re-traces every spec -- never pay for it twice).
+    auto memo = std::make_shared<std::optional<std::vector<ModelJob>>>();
+    const PlanFn plan = [memo, inner = spec_plan(specs, sys)] {
+      if (!memo->has_value()) *memo = inner();
+      return **memo;
+    };
     std::vector<std::shared_ptr<const ResolvedSlots>> slots;
-    return resolve(ptrs, sys, spec_plan(specs, sys), &slots);
+    Status status = resolve(ptrs, sys, plan, &slots);
+    if (!status.ok() || report == nullptr) return status;
+
+    // Per-key accounting: every key the specs plan to, attributed to
+    // this call when its stats record is newer than epoch0 (otherwise
+    // the key was satisfied from the engine cache / an earlier run).
+    report->keys.clear();
+    std::set<ModelKey> seen;
+    for (const ModelJob& job : plan()) {
+      const ModelKey key = ModelService::key_for(job);
+      if (!seen.insert(key).second) continue;
+      PrepareReport::Key entry;
+      entry.key = key;
+      if (const auto stats = service_.generation_stats(key);
+          stats.has_value() && stats->epoch > epoch0 && stats->generated) {
+        entry.generated = true;
+        entry.unique_samples = stats->unique_samples;
+        entry.points_measured = stats->points_measured;
+        entry.points_from_memory = stats->points_from_memory;
+        entry.points_from_disk = stats->points_from_disk;
+        entry.wall_ms = stats->wall_ms;
+      }
+      report->keys.push_back(std::move(entry));
+    }
+    return status;
   } catch (const std::exception& e) {
     return internal_error("Engine::prepare", e);
   }
+}
+
+index_t PrepareReport::keys_generated() const noexcept {
+  index_t n = 0;
+  for (const Key& k : keys) n += k.generated ? 1 : 0;
+  return n;
+}
+
+index_t PrepareReport::keys_reused() const noexcept {
+  return static_cast<index_t>(keys.size()) - keys_generated();
+}
+
+index_t PrepareReport::points_measured() const noexcept {
+  index_t n = 0;
+  for (const Key& k : keys) n += k.points_measured;
+  return n;
+}
+
+index_t PrepareReport::points_from_memory() const noexcept {
+  index_t n = 0;
+  for (const Key& k : keys) n += k.points_from_memory;
+  return n;
+}
+
+index_t PrepareReport::points_from_disk() const noexcept {
+  index_t n = 0;
+  for (const Key& k : keys) n += k.points_from_disk;
+  return n;
 }
 
 }  // namespace dlap

@@ -75,6 +75,34 @@ struct EngineConfig {
   std::function<void()> query_hook;
 };
 
+/// What Engine::prepare did for the models a spec batch needs
+/// (generation observability, mirroring the trace-cache stats of the
+/// prediction path): which keys were generated versus reused, and where
+/// their sample points came from -- newly measured, the in-memory store,
+/// or the on-disk sample repository. Attribution is best-effort when
+/// other threads generate concurrently: work another caller performs on
+/// a shared key while this prepare runs may appear in this report.
+struct PrepareReport {
+  struct Key {
+    ModelKey key;
+    /// True when this prepare call (re)generated the model; false when a
+    /// repository/cache model already covered the needed domain.
+    bool generated = false;
+    index_t unique_samples = 0;
+    index_t points_measured = 0;
+    index_t points_from_memory = 0;
+    index_t points_from_disk = 0;
+    double wall_ms = 0.0;
+  };
+  std::vector<Key> keys;
+
+  [[nodiscard]] index_t keys_generated() const noexcept;
+  [[nodiscard]] index_t keys_reused() const noexcept;
+  [[nodiscard]] index_t points_measured() const noexcept;
+  [[nodiscard]] index_t points_from_memory() const noexcept;
+  [[nodiscard]] index_t points_from_disk() const noexcept;
+};
+
 class Engine {
  public:
   explicit Engine(EngineConfig config = {});
@@ -130,9 +158,13 @@ class Engine {
   /// Generates every model the specs need (union of their traces) as one
   /// concurrent batch and warms the resolver cache AND the compiled-trace
   /// cache -- call before a query sweep so no query pays generation or
-  /// compilation latency.
+  /// compilation latency. When `report` is non-null it is filled with
+  /// per-key generation accounting: what was generated vs. reused, and
+  /// how many points were measured vs. warm-started from the in-memory
+  /// store or the on-disk sample repository.
   [[nodiscard]] Status prepare(const std::vector<OperationSpec>& specs,
-                               std::optional<SystemSpec> system = {}) noexcept;
+                               std::optional<SystemSpec> system = {},
+                               PrepareReport* report = nullptr) noexcept;
 
   // ----------------------------------------------------- observability
 

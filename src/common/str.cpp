@@ -79,4 +79,23 @@ double parse_double(std::string_view s) {
   return value;
 }
 
+std::string escape_filename_component(std::string_view s) {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isalnum(u) || c == '_') {
+      out.push_back(c);
+    } else if (c == '@') {
+      out += "-t";
+    } else {
+      out += "-x";
+      out.push_back(hex[u >> 4]);
+      out.push_back(hex[u & 0xf]);
+    }
+  }
+  return out;
+}
+
 }  // namespace dlap

@@ -34,4 +34,13 @@ namespace dlap {
 /// Parses a double; throws dlap::parse_error on malformed input.
 [[nodiscard]] double parse_double(std::string_view s);
 
+/// Escapes one file-name component injectively: alphanumerics and '_'
+/// pass through, '@' (the threaded-backend separator) becomes "-t" for
+/// readability, and every other character -- including '-' itself, so
+/// '-' always starts an escape and the encoding stays unambiguous --
+/// becomes "-x" plus two hex digits. Used by the model repository and
+/// the sample repository so distinct keys always map to distinct file
+/// names, even for path-hostile backend specs or flag strings.
+[[nodiscard]] std::string escape_filename_component(std::string_view s);
+
 }  // namespace dlap

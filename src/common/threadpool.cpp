@@ -130,44 +130,63 @@ void ThreadPool::parallel_for_each(index_t count,
 
   // Dynamic self-scheduling: each drainer (pool workers plus the caller)
   // repeatedly claims the next unclaimed index until none remain.
-  auto next = std::make_shared<std::atomic<index_t>>(0);
-  auto drain = [next, count, &fn] {
+  //
+  // Completion is tracked per *item*, not per helper job: the caller
+  // returns as soon as every item has finished, even when the enqueued
+  // helpers never got a thread (they find no work and discard the shared
+  // state when they eventually run). That makes NESTED calls on one pool
+  // safe -- a worker that fans out again can always complete the inner
+  // batch on its own stack while its siblings are parked in their own
+  // waits -- where waiting on the helper jobs themselves would deadlock
+  // a pool whose workers all fan out. The batched measurement scheduler
+  // relies on exactly that (generation tasks fanning sample batches out
+  // over the same pool).
+  struct State {
+    std::atomic<index_t> next{0};
+    index_t count = 0;
+    std::function<void(index_t)> fn;  // owned: helpers may outlive caller
+    std::mutex m;
+    std::condition_variable done_cv;
+    index_t completed = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  state->count = count;
+  state->fn = fn;
+
+  const auto drain = [](State& s) {
     for (;;) {
-      const index_t i = next->fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      fn(i);
+      const index_t i = s.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s.count) return;
+      std::exception_ptr error;
+      try {
+        s.fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(s.m);
+      if (error && !s.error) s.error = error;
+      if (++s.completed == s.count) s.done_cv.notify_all();
     }
   };
 
   const index_t helpers = std::min<index_t>(worker_count(), count - 1);
-  BulkSync sync;
-  sync.pending = helpers;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (index_t h = 0; h < helpers; ++h) {
-      queue_.push([drain, &sync] {
-        std::exception_ptr error;
-        try {
-          drain();
-        } catch (...) {
-          error = std::current_exception();
-        }
-        sync.finish_one(error);
-      });
+  if (helpers > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (index_t h = 0; h < helpers; ++h) {
+        queue_.push([state, drain] { drain(*state); });
+      }
     }
-  }
-  cv_.notify_all();
-
-  std::exception_ptr my_error;
-  try {
-    drain();
-  } catch (...) {
-    my_error = std::current_exception();
+    cv_.notify_all();
   }
 
-  if (helpers > 0) sync.wait();
-  if (my_error) std::rethrow_exception(my_error);
-  if (sync.error) std::rethrow_exception(sync.error);
+  drain(*state);
+
+  std::unique_lock<std::mutex> lock(state->m);
+  state->done_cv.wait(lock,
+                      [&] { return state->completed == state->count; });
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace dlap

@@ -52,7 +52,11 @@ class ThreadPool {
   /// the next unclaimed index. Unlike parallel_for's static chunks, this
   /// balances loads whose per-item cost varies wildly -- the model
   /// service's generation tasks. Blocks until all items complete;
-  /// exceptions propagate to the caller (first one wins).
+  /// exceptions propagate to the caller (first one wins). Safe to call
+  /// from a pool worker (nested fan-out): completion is tracked per item,
+  /// so the nested caller can finish its batch alone even when every
+  /// other worker is parked in a wait of its own -- the measurement
+  /// scheduler fans generation batches out this way.
   void parallel_for_each(index_t count,
                          const std::function<void(index_t)>& fn);
 

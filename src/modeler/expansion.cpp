@@ -1,164 +1,219 @@
+// Model Expansion (paper III-C1) as an incremental step machine.
+//
+// The synchronous algorithm is two nested loops (cover boxes; grow the
+// current region dimension by dimension); the machine flattens them into
+// an explicit phase + cursor so it can suspend at any fit whose sample
+// grid is not fully known yet, emit that grid as a batch, and resume at
+// exactly the same fit after supply(). The sequence of fits -- and hence
+// the produced model, events and sample accounting -- is identical to
+// the historical synchronous implementation.
+
 #include <algorithm>
 #include <deque>
 
-#include "modeler/fit.hpp"
-#include "modeler/sample_cache.hpp"
 #include "modeler/strategies.hpp"
 
 namespace dlap {
 
 namespace {
 
-// Expansion bookkeeping for one region being grown inside a cover box.
-// With Direction::AwayFromOrigin the region is anchored at the box's low
-// corner and its high bound moves; TowardOrigin mirrors this.
-struct GrowState {
-  Region box;      // the part of the domain this region must help cover
-  Region region;   // current accepted extent
-  std::vector<bool> active;  // dimension can still be grown
-};
-
 index_t snap_down(index_t x, index_t g) { return (x / g) * g; }
 
-}  // namespace
+class ExpansionStepper final : public GenerationStepper {
+ public:
+  ExpansionStepper(const Region& domain, const ExpansionConfig& config)
+      : GenerationStepper(config.base, domain),
+        away_(config.direction ==
+              ExpansionConfig::Direction::AwayFromOrigin),
+        sini_(std::max(config.base.granularity,
+                       snap_down(config.initial_size,
+                                 config.base.granularity))) {
+    boxes_.push_back(domain);
+  }
 
-GenerationResult generate_model_expansion(const Region& domain,
-                                          const MeasureFn& measure,
-                                          const ExpansionConfig& config) {
-  const GeneratorConfig& base = config.base;
-  DLAP_REQUIRE(base.error_bound > 0.0, "expansion: error bound must be > 0");
-  DLAP_REQUIRE(config.initial_size >= base.granularity,
-               "expansion: initial size below granularity");
-  const int dims = domain.dims();
-  const index_t g = base.granularity;
-  const bool away = config.direction == ExpansionConfig::Direction::AwayFromOrigin;
+ private:
+  enum class Phase {
+    NextBox,  ///< pop the next uncovered box and seed a region in it
+    SeedFit,  ///< fitting the freshly seeded region
+    Grow,     ///< growing the region dimension by dimension
+  };
 
-  SampleCache cache(measure);
-  GenerationResult result;
-  std::vector<RegionModel> pieces;
+  void run() override {
+    const GeneratorConfig& base = generator_config();
+    const int dims = domain().dims();
+    const index_t g = base.granularity;
 
-  // Queue of uncovered boxes; start with the whole domain.
-  std::deque<Region> boxes;
-  boxes.push_back(domain);
+    for (;;) {
+      switch (phase_) {
+        case Phase::NextBox: {
+          if (boxes_.empty()) {
+            finish();
+            return;
+          }
+          box_ = boxes_.front();
+          boxes_.pop_front();
 
-  // s_ini snapped to the lattice.
-  const index_t sini = std::max(g, snap_down(config.initial_size, g));
+          // Seed the region at the box's anchor corner, extent ~ s_ini.
+          std::vector<index_t> rlo(dims), rhi(dims);
+          for (int d = 0; d < dims; ++d) {
+            const index_t span = std::min(sini_, box_.extent(d));
+            if (away_) {
+              rlo[d] = box_.lo(d);
+              rhi[d] = box_.lo(d) + span;
+            } else {
+              rhi[d] = box_.hi(d);
+              rlo[d] = box_.hi(d) - span;
+            }
+          }
+          region_ = Region(rlo, rhi);
+          active_.assign(static_cast<std::size_t>(dims), true);
+          phase_ = Phase::SeedFit;
+          break;
+        }
 
-  while (!boxes.empty()) {
-    const Region box = boxes.front();
-    boxes.pop_front();
+        case Phase::SeedFit: {
+          auto fitted = try_fit(region_);
+          if (!fitted) return;
+          fit_ = std::move(fitted->first);
+          used_ = fitted->second;
+          push_event(GenerationEvent::Kind::NewRegion, region_,
+                     fit_.erelmax);
 
-    // Seed the region at the box's anchor corner with extent ~ s_ini.
-    std::vector<index_t> rlo(dims), rhi(dims);
-    for (int d = 0; d < dims; ++d) {
-      const index_t span = std::min(sini, box.extent(d));
-      if (away) {
-        rlo[d] = box.lo(d);
-        rhi[d] = box.lo(d) + span;
-      } else {
-        rhi[d] = box.hi(d);
-        rlo[d] = box.hi(d) - span;
+          // Growth is bounded by the *domain* (not the box), so regions
+          // may overlap previously covered territory -- the paper's
+          // overlapping regions (Fig III.6) arise the same way.
+          for (int d = 0; d < dims; ++d) {
+            if (at_domain_edge(d)) active_[static_cast<std::size_t>(d)] =
+                false;
+          }
+          pass_d_ = dims;  // start at a pass boundary
+          phase_ = Phase::Grow;
+          break;
+        }
+
+        case Phase::Grow: {
+          if (pass_d_ >= dims) {
+            // Pass boundary: the synchronous loop's `while (any active)`.
+            if (std::none_of(active_.begin(), active_.end(),
+                             [](bool a) { return a; })) {
+              finalize_region(g, dims);
+              phase_ = Phase::NextBox;
+              break;
+            }
+            pass_d_ = 0;
+            break;
+          }
+          if (!active_[static_cast<std::size_t>(pass_d_)]) {
+            ++pass_d_;
+            break;
+          }
+
+          // Double the extent along pass_d_ (at least one lattice step).
+          const index_t grow =
+              std::max(g, snap_down(region_.extent(pass_d_), g));
+          std::vector<index_t> nlo = region_.lo();
+          std::vector<index_t> nhi = region_.hi();
+          if (away_) {
+            nhi[pass_d_] = std::min(domain().hi(pass_d_),
+                                    nhi[pass_d_] + grow);
+          } else {
+            nlo[pass_d_] = std::max(domain().lo(pass_d_),
+                                    nlo[pass_d_] - grow);
+          }
+          const Region candidate(nlo, nhi);
+          auto fitted = try_fit(candidate);
+          if (!fitted) return;
+          if (fitted->first.erelmax <= base.error_bound) {
+            region_ = candidate;
+            fit_ = std::move(fitted->first);
+            used_ = fitted->second;
+            push_event(GenerationEvent::Kind::Expanded, region_,
+                       fit_.erelmax);
+            if (at_domain_edge(pass_d_)) {
+              active_[static_cast<std::size_t>(pass_d_)] = false;
+            }
+          } else {
+            push_event(GenerationEvent::Kind::Rejected, candidate,
+                       fitted->first.erelmax);
+            active_[static_cast<std::size_t>(pass_d_)] = false;
+          }
+          ++pass_d_;
+          break;
+        }
       }
     }
-    GrowState st{box, Region(rlo, rhi),
-                 std::vector<bool>(static_cast<std::size_t>(dims), true)};
+  }
 
-    auto fit_region = [&](const Region& r) {
-      const auto samples = cache.gather(
-          r.sample_grid(effective_grid_points(base, r.dims()), g));
-      return std::pair<FitResult, index_t>(
-          fit_polynomial(r, samples, base.degree),
-          static_cast<index_t>(samples.size()));
-    };
+  [[nodiscard]] bool at_domain_edge(int d) const {
+    return away_ ? (region_.hi(d) >= domain().hi(d))
+                 : (region_.lo(d) <= domain().lo(d));
+  }
 
-    auto [fit, used] = fit_region(st.region);
-    result.events.push_back({GenerationEvent::Kind::NewRegion, st.region,
-                             fit.erelmax, cache.unique_samples()});
-
-    // Growth is bounded by the *domain* (not the box), so regions may
-    // overlap previously covered territory -- the paper's overlapping
-    // regions (Fig III.6) arise the same way.
-    for (int d = 0; d < dims; ++d) {
-      const bool at_edge = away ? (st.region.hi(d) >= domain.hi(d))
-                                : (st.region.lo(d) <= domain.lo(d));
-      if (at_edge) st.active[d] = false;
-    }
-
-    while (std::any_of(st.active.begin(), st.active.end(),
-                       [](bool a) { return a; })) {
-      for (int d = 0; d < dims; ++d) {
-        if (!st.active[d]) continue;
-        // Double the extent along d (at least one lattice step).
-        const index_t grow = std::max(g, snap_down(st.region.extent(d), g));
-        std::vector<index_t> nlo = st.region.lo();
-        std::vector<index_t> nhi = st.region.hi();
-        if (away) {
-          nhi[d] = std::min(domain.hi(d), nhi[d] + grow);
-        } else {
-          nlo[d] = std::max(domain.lo(d), nlo[d] - grow);
-        }
-        Region candidate(nlo, nhi);
-        auto [cfit, cused] = fit_region(candidate);
-        if (cfit.erelmax <= base.error_bound) {
-          st.region = candidate;
-          fit = std::move(cfit);
-          used = cused;
-          result.events.push_back({GenerationEvent::Kind::Expanded,
-                                   st.region, fit.erelmax,
-                                   cache.unique_samples()});
-          const bool at_edge = away ? (st.region.hi(d) >= domain.hi(d))
-                                    : (st.region.lo(d) <= domain.lo(d));
-          if (at_edge) st.active[d] = false;
-        } else {
-          result.events.push_back({GenerationEvent::Kind::Rejected, candidate,
-                                   cfit.erelmax, cache.unique_samples()});
-          st.active[d] = false;
-        }
-      }
-    }
-
-    pieces.push_back({st.region, fit.poly, fit.erelmax, fit.mean_rel_error,
-                      used});
-    result.events.push_back({GenerationEvent::Kind::Finalized, st.region,
-                             fit.erelmax, cache.unique_samples()});
+  void finalize_region(index_t g, int dims) {
+    add_piece({region_, fit_.poly, fit_.erelmax, fit_.mean_rel_error,
+               used_});
+    push_event(GenerationEvent::Kind::Finalized, region_, fit_.erelmax);
 
     // Guillotine remainder of the box beyond the accepted region: one
     // staircase strip per dimension keeps the strips disjoint.
-    const Region& r = st.region;
+    const Region& r = region_;
     for (int d = 0; d < dims; ++d) {
       std::vector<index_t> slo(dims), shi(dims);
       bool empty = false;
       for (int e = 0; e < dims; ++e) {
         if (e == d) {
-          if (away) {
-            if (r.hi(d) >= box.hi(d)) { empty = true; break; }
+          if (away_) {
+            if (r.hi(d) >= box_.hi(d)) { empty = true; break; }
             slo[e] = r.hi(d) + g;
-            shi[e] = box.hi(d);
+            shi[e] = box_.hi(d);
           } else {
-            if (r.lo(d) <= box.lo(d)) { empty = true; break; }
-            slo[e] = box.lo(d);
+            if (r.lo(d) <= box_.lo(d)) { empty = true; break; }
+            slo[e] = box_.lo(d);
             shi[e] = r.lo(d) - g;
           }
           if (slo[e] > shi[e]) { empty = true; break; }
         } else if (e < d) {
-          // Dimensions already handled by earlier strips: restrict to the
-          // region's footprint.
-          slo[e] = std::max(box.lo(e), r.lo(e));
-          shi[e] = std::min(box.hi(e), r.hi(e));
+          // Dimensions already handled by earlier strips: restrict to
+          // the region's footprint.
+          slo[e] = std::max(box_.lo(e), r.lo(e));
+          shi[e] = std::min(box_.hi(e), r.hi(e));
           if (slo[e] > shi[e]) { empty = true; break; }
         } else {
-          slo[e] = box.lo(e);
-          shi[e] = box.hi(e);
+          slo[e] = box_.lo(e);
+          shi[e] = box_.hi(e);
         }
       }
-      if (!empty) boxes.emplace_back(slo, shi);
+      if (!empty) boxes_.emplace_back(slo, shi);
     }
   }
 
-  result.model = PiecewiseModel(domain, std::move(pieces));
-  result.unique_samples = cache.unique_samples();
-  result.average_error = result.model.average_error();
-  return result;
+  bool away_ = false;
+  index_t sini_ = 0;
+
+  std::deque<Region> boxes_;
+  Phase phase_ = Phase::NextBox;
+
+  // State of the region currently being grown.
+  Region box_;
+  Region region_;
+  std::vector<bool> active_;
+  FitResult fit_;
+  index_t used_ = 0;
+  int pass_d_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<GenerationStepper> make_expansion_stepper(
+    const Region& domain, const ExpansionConfig& config) {
+  DLAP_REQUIRE(config.base.error_bound > 0.0,
+               "expansion: error bound must be > 0");
+  DLAP_REQUIRE(config.initial_size >= config.base.granularity,
+               "expansion: initial size below granularity");
+  auto stepper = std::unique_ptr<ExpansionStepper>(
+      new ExpansionStepper(domain, config));
+  stepper->start();
+  return stepper;
 }
 
 }  // namespace dlap

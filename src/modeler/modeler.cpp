@@ -58,15 +58,8 @@ MeasureFn Modeler::make_measure_fn(const ModelingRequest& request) {
   // The sampler is shared across all measurements of one generation run.
   auto sampler = std::make_shared<Sampler>(*backend_, request.sampler);
   const ModelingRequest req = request;
-  MeasureFn measure = [sampler, req](const std::vector<index_t>& point) {
+  return [sampler, req](const std::vector<index_t>& point) {
     return sampler->measure(make_call(req, point));
-  };
-  if (store_ == nullptr) return measure;
-  // Engine-wide reuse: measurements are shared across generation runs of
-  // the same key (wider domains, strategy comparisons, regenerations).
-  return [store = store_, engine_key = key_for(request).to_string(),
-          measure](const std::vector<index_t>& point) {
-    return store->get_or_measure(engine_key, point, measure);
   };
 }
 

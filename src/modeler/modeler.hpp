@@ -14,7 +14,6 @@
 #include "modeler/model.hpp"
 #include "modeler/strategies.hpp"
 #include "sampler/calls.hpp"
-#include "sampler/sample_store.hpp"
 #include "sampler/sampler.hpp"
 
 namespace dlap {
@@ -118,16 +117,13 @@ struct ModelingRequest {
 /// own, so distinct instances (each with its own backend) are safe to run
 /// concurrently from different threads -- the model service does exactly
 /// that; one instance is also safe to drive from multiple threads when its
-/// backend's kernels are reentrant.
+/// backend's kernels are reentrant. Engine-wide measurement reuse (the
+/// sample store and its on-disk journals) is NOT the Modeler's concern:
+/// the service's MeasurementScheduler layers it over the per-point
+/// measure function this class produces.
 class Modeler {
  public:
   explicit Modeler(Level3Backend& backend) : backend_(&backend) {}
-
-  /// Routes all measurements through an engine-wide sample store (keyed by
-  /// the request's ModelKey), so repeated generations reuse points already
-  /// measured. nullptr detaches. The store must outlive the Modeler's
-  /// measure functions.
-  void set_sample_store(SampleStore* store) noexcept { store_ = store; }
 
   /// Measurement source for the request (caching is applied inside the
   /// strategies, not here).
@@ -155,7 +151,6 @@ class Modeler {
   [[nodiscard]] ModelKey key_for(const ModelingRequest& request) const;
 
   Level3Backend* backend_;
-  SampleStore* store_ = nullptr;
 };
 
 }  // namespace dlap

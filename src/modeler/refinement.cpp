@@ -1,75 +1,76 @@
-#include <cmath>
+// Adaptive Refinement (paper III-C2) as an incremental step machine:
+// breadth-first over a queue of regions, each step requesting the front
+// region's sample grid as one batch, then fitting and either accepting
+// the region or splitting it.
+
 #include <deque>
 
-#include "modeler/fit.hpp"
-#include "modeler/polynomial.hpp"
-#include "modeler/sample_cache.hpp"
 #include "modeler/strategies.hpp"
 
 namespace dlap {
 
-index_t effective_grid_points(const GeneratorConfig& config, int dims) {
-  const double monomials =
-      static_cast<double>(monomial_count(dims, config.degree));
-  // points_per_dim^dims >= 1.5 * monomials keeps the fit overdetermined.
-  index_t needed = static_cast<index_t>(
-      std::ceil(std::pow(1.5 * monomials, 1.0 / dims)));
-  return std::max(config.grid_points_per_dim, needed);
-}
+namespace {
 
-GenerationResult generate_adaptive_refinement(const Region& domain,
-                                              const MeasureFn& measure,
-                                              const RefinementConfig& config) {
-  const GeneratorConfig& base = config.base;
-  DLAP_REQUIRE(base.error_bound > 0.0, "refinement: error bound must be > 0");
-  DLAP_REQUIRE(config.min_region_size >= base.granularity,
-               "refinement: s_min below granularity");
-
-  SampleCache cache(measure);
-  GenerationResult result;
-  std::vector<RegionModel> pieces;
-
-  // Breadth-first refinement reproduces the paper's level-by-level
-  // pictures (Fig III.5): the whole domain first, then quadrants, ...
-  std::deque<Region> work;
-  work.push_back(domain);
-
-  while (!work.empty()) {
-    const Region region = work.front();
-    work.pop_front();
-
-    const auto samples = cache.gather(region.sample_grid(
-        effective_grid_points(base, region.dims()), base.granularity));
-    const FitResult fit = fit_polynomial(region, samples, base.degree);
-    result.events.push_back({GenerationEvent::Kind::NewRegion, region,
-                             fit.erelmax, cache.unique_samples()});
-
-    const bool accurate = fit.erelmax <= base.error_bound;
-    std::vector<Region> children;
-    if (!accurate) {
-      children = region.split(config.min_region_size, base.granularity);
-    }
-    const bool splittable = children.size() > 1;
-
-    if (accurate || !splittable) {
-      // Accurate, or too small to refine further: accept as-is (the paper
-      // accepts inaccurate minimum-size regions the same way).
-      pieces.push_back({region, fit.poly, fit.erelmax, fit.mean_rel_error,
-                        static_cast<index_t>(samples.size())});
-      result.events.push_back({GenerationEvent::Kind::Finalized, region,
-                               fit.erelmax, cache.unique_samples()});
-      continue;
-    }
-
-    result.events.push_back({GenerationEvent::Kind::Split, region,
-                             fit.erelmax, cache.unique_samples()});
-    for (Region& child : children) work.push_back(std::move(child));
+class RefinementStepper final : public GenerationStepper {
+ public:
+  RefinementStepper(const Region& domain, const RefinementConfig& config)
+      : GenerationStepper(config.base, domain), config_(config) {
+    work_.push_back(domain);
   }
 
-  result.model = PiecewiseModel(domain, std::move(pieces));
-  result.unique_samples = cache.unique_samples();
-  result.average_error = result.model.average_error();
-  return result;
+ private:
+  void run() override {
+    const GeneratorConfig& base = generator_config();
+    // Breadth-first refinement reproduces the paper's level-by-level
+    // pictures (Fig III.5): the whole domain first, then quadrants, ...
+    while (!work_.empty()) {
+      const Region region = work_.front();
+      // The front region's whole sample grid is one batch; when points
+      // are missing the region stays queued and the machine resumes here
+      // after supply().
+      auto fitted = try_fit(region);
+      if (!fitted) return;
+      work_.pop_front();
+      auto& [fit, used] = *fitted;
+      push_event(GenerationEvent::Kind::NewRegion, region, fit.erelmax);
+
+      const bool accurate = fit.erelmax <= base.error_bound;
+      std::vector<Region> children;
+      if (!accurate) {
+        children = region.split(config_.min_region_size, base.granularity);
+      }
+      const bool splittable = children.size() > 1;
+
+      if (accurate || !splittable) {
+        // Accurate, or too small to refine further: accept as-is (the
+        // paper accepts inaccurate minimum-size regions the same way).
+        add_piece({region, fit.poly, fit.erelmax, fit.mean_rel_error, used});
+        push_event(GenerationEvent::Kind::Finalized, region, fit.erelmax);
+        continue;
+      }
+
+      push_event(GenerationEvent::Kind::Split, region, fit.erelmax);
+      for (Region& child : children) work_.push_back(std::move(child));
+    }
+    finish();
+  }
+
+  RefinementConfig config_;
+  std::deque<Region> work_;
+};
+
+}  // namespace
+
+std::unique_ptr<GenerationStepper> make_refinement_stepper(
+    const Region& domain, const RefinementConfig& config) {
+  DLAP_REQUIRE(config.base.error_bound > 0.0,
+               "refinement: error bound must be > 0");
+  DLAP_REQUIRE(config.min_region_size >= config.base.granularity,
+               "refinement: s_min below granularity");
+  auto stepper = std::unique_ptr<RefinementStepper>(
+      new RefinementStepper(domain, config));
+  stepper->start();
+  return stepper;
 }
 
 }  // namespace dlap

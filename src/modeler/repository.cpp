@@ -35,31 +35,12 @@ std::vector<index_t> read_indices(std::istringstream& is, std::size_t n) {
   return out;
 }
 
-// Escapes one file-name component injectively: alphanumerics and '_' pass
-// through, '@' (the threaded-backend separator) becomes "-t" for
-// readability, and every other character -- including '-' itself, so '-'
-// always starts an escape and the encoding stays unambiguous -- becomes
-// "-x" plus two hex digits. Components are later joined with '.', which
-// never survives escaping, so distinct keys always map to distinct file
-// names ("packed@8" vs a backend literally named "packed-t8", flags
-// containing '/', '.', ' ', ...).
+// Components are escaped injectively (common/str.hpp) and joined with
+// '.', which never survives escaping, so distinct keys always map to
+// distinct file names ("packed@8" vs a backend literally named
+// "packed-t8", flags containing '/', '.', ' ', ...).
 std::string escape_component(const std::string& component) {
-  static const char* hex = "0123456789abcdef";
-  std::string out;
-  out.reserve(component.size());
-  for (const char c : component) {
-    const auto u = static_cast<unsigned char>(c);
-    if (std::isalnum(u) || c == '_') {
-      out.push_back(c);
-    } else if (c == '@') {
-      out += "-t";
-    } else {
-      out += "-x";
-      out.push_back(hex[u >> 4]);
-      out.push_back(hex[u & 0xf]);
-    }
-  }
-  return out;
+  return escape_filename_component(component);
 }
 
 }  // namespace

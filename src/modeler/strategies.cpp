@@ -1,0 +1,102 @@
+#include "modeler/strategies.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "modeler/polynomial.hpp"
+
+namespace dlap {
+
+index_t effective_grid_points(const GeneratorConfig& config, int dims) {
+  const double monomials =
+      static_cast<double>(monomial_count(dims, config.degree));
+  // points_per_dim^dims >= 1.5 * monomials keeps the fit overdetermined.
+  index_t needed = static_cast<index_t>(
+      std::ceil(std::pow(1.5 * monomials, 1.0 / dims)));
+  return std::max(config.grid_points_per_dim, needed);
+}
+
+std::optional<std::pair<FitResult, index_t>> GenerationStepper::try_fit(
+    const Region& region) {
+  DLAP_ASSERT(required_.empty());  // machines wait after a pending fit
+  const std::vector<std::vector<index_t>> grid = region.sample_grid(
+      effective_grid_points(config_, region.dims()), config_.granularity);
+
+  // First pass: everything not yet cached becomes the next batch. The
+  // grid is recomputed (deterministically) after the batch is supplied,
+  // so no pending-fit state needs to survive in the machine.
+  std::set<std::vector<index_t>> queued;
+  for (const auto& p : grid) {
+    if (cache_.find(p) == cache_.end() && queued.insert(p).second) {
+      required_.push_back(p);
+    }
+  }
+  if (!required_.empty()) return std::nullopt;
+
+  // All points known: gather in grid order (duplicate grid points are
+  // deliberately repeated -- they weigh the fit exactly as the original
+  // synchronous gather did).
+  std::vector<SamplePoint> samples;
+  samples.reserve(grid.size());
+  for (const auto& p : grid) samples.push_back({p, cache_.at(p)});
+  return std::make_pair(fit_polynomial(region, samples, config_.degree),
+                        static_cast<index_t>(samples.size()));
+}
+
+void GenerationStepper::supply(const std::vector<SampleStats>& stats) {
+  DLAP_REQUIRE(!done_, "stepper: supply() after completion");
+  DLAP_REQUIRE(stats.size() == required_.size(),
+               "stepper: supplied statistics count does not match the "
+               "required batch");
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    cache_.emplace(required_[i], stats[i]);
+  }
+  required_.clear();
+  advance();
+}
+
+void GenerationStepper::finish() {
+  result_.model = PiecewiseModel(domain_, std::move(pieces_));
+  result_.unique_samples = static_cast<index_t>(cache_.size());
+  result_.average_error = result_.model.average_error();
+  done_ = true;
+}
+
+void GenerationStepper::advance() {
+  run();
+  DLAP_ASSERT(done_ || !required_.empty());
+}
+
+GenerationResult GenerationStepper::take_result() {
+  DLAP_REQUIRE(done_, "stepper: take_result() before completion");
+  result_.events = std::move(events_);
+  return std::move(result_);
+}
+
+GenerationResult drive_stepper(GenerationStepper& stepper,
+                               const MeasureFn& measure) {
+  while (!stepper.done()) {
+    const auto& batch = stepper.required();
+    std::vector<SampleStats> stats;
+    stats.reserve(batch.size());
+    for (const auto& point : batch) stats.push_back(measure(point));
+    stepper.supply(stats);
+  }
+  return stepper.take_result();
+}
+
+GenerationResult generate_model_expansion(const Region& domain,
+                                          const MeasureFn& measure,
+                                          const ExpansionConfig& config) {
+  auto stepper = make_expansion_stepper(domain, config);
+  return drive_stepper(*stepper, measure);
+}
+
+GenerationResult generate_adaptive_refinement(const Region& domain,
+                                              const MeasureFn& measure,
+                                              const RefinementConfig& config) {
+  auto stepper = make_refinement_stepper(domain, config);
+  return drive_stepper(*stepper, measure);
+}
+
+}  // namespace dlap

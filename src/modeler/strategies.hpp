@@ -1,15 +1,29 @@
 #pragma once
-// The two model-generation strategies (paper Sections III-C1 and III-C2).
+// The two model-generation strategies (paper Sections III-C1 and III-C2),
+// written as incremental *step machines*.
 //
-// Both strategies consume measurements through a MeasureFn (decoupling
-// them from the Sampler so they can be unit-tested against synthetic cost
-// functions) and produce a PiecewiseModel plus generation diagnostics.
-// Measurements are cached by parameter point, so "number of samples" means
-// distinct sampled points, as in the paper's sample accounting.
+// A GenerationStepper never measures anything itself: it declares the
+// batch of parameter points it needs next (a region's whole sample grid
+// at once, minus points it has already seen), the caller fulfills the
+// batch -- sequentially, fanned out over a thread pool, or straight from
+// a persistent sample repository -- and supplies the statistics back.
+// Points are cached by parameter point inside the machine, so "number of
+// samples" means distinct sampled points per run, as in the paper's
+// Fig III.8 sample accounting, regardless of how batches are fulfilled.
+//
+// The classic blocking entry points (generate_model_expansion,
+// generate_adaptive_refinement) remain as thin drivers over the steppers
+// and produce identical results: with a deterministic measurement source
+// every fulfillment order yields bit-identical models.
 
 #include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
+#include "modeler/fit.hpp"
 #include "modeler/model.hpp"
 #include "modeler/region.hpp"
 #include "sampler/stats.hpp"
@@ -86,6 +100,119 @@ struct GenerationResult {
   double average_error = 0.0;
   std::vector<GenerationEvent> events;
 };
+
+/// Incremental generation machine. Protocol:
+///
+///   auto stepper = make_refinement_stepper(domain, config);
+///   while (!stepper->done()) {
+///     stats = <fulfill stepper->required() however you like>;
+///     stepper->supply(stats);            // advances to the next batch
+///   }
+///   GenerationResult result = stepper->take_result();
+///
+/// required() lists distinct points never requested before (each run
+/// requests every point exactly once), in deterministic order; events()
+/// grows as the construction proceeds, so drivers can stream progress.
+/// Steppers are single-threaded state machines: calls on one instance
+/// must not race (the fulfillment of a batch may of course be parallel).
+class GenerationStepper {
+ public:
+  virtual ~GenerationStepper() = default;
+
+  GenerationStepper(const GenerationStepper&) = delete;
+  GenerationStepper& operator=(const GenerationStepper&) = delete;
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  /// The batch of points to fulfill before the next step. Non-empty
+  /// exactly while !done().
+  [[nodiscard]] const std::vector<std::vector<index_t>>& required()
+      const noexcept {
+    return required_;
+  }
+
+  /// Construction events so far (grows step by step; the final result
+  /// carries the complete list, and each event's samples_so_far is the
+  /// per-run distinct-sample count at that step).
+  [[nodiscard]] const std::vector<GenerationEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Supplies statistics for required(), in the same order, and advances
+  /// the machine until it needs another batch or completes.
+  void supply(const std::vector<SampleStats>& stats);
+
+  /// The finished result; requires done(). Leaves the machine empty.
+  [[nodiscard]] GenerationResult take_result();
+
+  /// Runs the machine up to its first batch (or completion). Called once
+  /// by the factory functions; further calls are no-ops.
+  void start() {
+    if (started_) return;
+    started_ = true;
+    advance();
+  }
+
+ protected:
+  GenerationStepper(GeneratorConfig config, Region domain)
+      : config_(config), domain_(std::move(domain)) {}
+
+  /// Advances until required_ is populated or the construction finishes.
+  /// Called once by the factory after construction and after each
+  /// supply(). Implementations call try_fit and return immediately when
+  /// it reports missing points.
+  virtual void run() = 0;
+
+  /// Attempts to fit `region` over its sample grid. When every grid point
+  /// is cached, returns the fit plus the number of samples used (grid
+  /// points, duplicates included -- the historical accounting). Otherwise
+  /// records the missing points in required_ and returns nullopt; run()
+  /// must then return and wait for supply().
+  [[nodiscard]] std::optional<std::pair<FitResult, index_t>> try_fit(
+      const Region& region);
+
+  void push_event(GenerationEvent::Kind kind, const Region& region,
+                  double error) {
+    events_.push_back({kind, region, error,
+                       static_cast<index_t>(cache_.size())});
+  }
+
+  void add_piece(RegionModel piece) { pieces_.push_back(std::move(piece)); }
+
+  /// Assembles the final model; the machine is done afterwards.
+  void finish();
+
+  /// Drives run() and flags completion; used by factories and supply().
+  void advance();
+
+  [[nodiscard]] const Region& domain() const noexcept { return domain_; }
+  [[nodiscard]] const GeneratorConfig& generator_config() const noexcept {
+    return config_;
+  }
+
+ private:
+  GeneratorConfig config_;
+  Region domain_;
+  std::map<std::vector<index_t>, SampleStats> cache_;
+  std::vector<std::vector<index_t>> required_;
+  std::vector<GenerationEvent> events_;
+  std::vector<RegionModel> pieces_;
+  GenerationResult result_;
+  bool started_ = false;
+  bool done_ = false;
+};
+
+/// Step-machine constructors (config is validated here; the blocking
+/// functions below delegate to these).
+[[nodiscard]] std::unique_ptr<GenerationStepper> make_expansion_stepper(
+    const Region& domain, const ExpansionConfig& config);
+[[nodiscard]] std::unique_ptr<GenerationStepper> make_refinement_stepper(
+    const Region& domain, const RefinementConfig& config);
+
+/// Drives a stepper to completion with a synchronous point-by-point
+/// measurement source (the reference fulfillment).
+[[nodiscard]] GenerationResult drive_stepper(GenerationStepper& stepper,
+                                             const MeasureFn& measure);
 
 [[nodiscard]] GenerationResult generate_model_expansion(
     const Region& domain, const MeasureFn& measure,

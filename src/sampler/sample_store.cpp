@@ -1,48 +1,261 @@
 #include "sampler/sample_store.hpp"
 
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+#include "common/str.hpp"
+
 namespace dlap {
 
-SampleStats SampleStore::get_or_measure(const std::string& engine_key,
+namespace {
+
+// First line of every journal. Versioned so the format can evolve; a
+// file with a different first line is treated as empty (and rewritten by
+// the next append through the normal append-only path).
+constexpr const char* kMagic = "dlaperf-samples v1";
+
+// One journal line per point:
+//   p <dims> <coords...> <min> <median> <mean> <max> <stddev> <count>
+// written with 17 significant digits so every double round-trips
+// exactly -- warm-started generations must be bit-identical to the runs
+// that paid for the measurements.
+void write_line(std::ostream& os, const std::vector<index_t>& point,
+                const SampleStats& stats) {
+  os << "p " << point.size();
+  for (const index_t c : point) os << ' ' << c;
+  os << std::setprecision(17);
+  os << ' ' << stats.min << ' ' << stats.median << ' ' << stats.mean << ' '
+     << stats.max << ' ' << stats.stddev << ' ' << stats.count << '\n';
+}
+
+// Parses one journal line; false on any malformed/truncated content.
+bool parse_line(const std::string& line, std::vector<index_t>* point,
+                SampleStats* stats) {
+  std::istringstream is(line);
+  std::string tag;
+  std::size_t dims = 0;
+  if (!(is >> tag >> dims) || tag != "p" || dims == 0 || dims > 8) {
+    return false;
+  }
+  point->resize(dims);
+  for (index_t& c : *point) {
+    if (!(is >> c)) return false;
+  }
+  if (!(is >> stats->min >> stats->median >> stats->mean >> stats->max >>
+        stats->stddev >> stats->count)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SampleStore::SampleStore(std::filesystem::path dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) std::filesystem::create_directories(dir_);
+}
+
+std::string SampleStore::journal_filename(std::string_view engine_key) {
+  return escape_filename_component(engine_key) + ".samples";
+}
+
+SampleStore::KeyCache& SampleStore::key_cache(std::string_view engine_key) {
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  const auto it = keys_.find(engine_key);
+  if (it != keys_.end()) return it->second;
+  return keys_.try_emplace(std::string(engine_key)).first->second;
+}
+
+void SampleStore::ensure_replayed(std::string_view engine_key,
+                                  KeyCache& cache) {
+  if (cache.replayed) return;
+  cache.replayed = true;
+  if (dir_.empty()) return;
+
+  // Replay the journal, if any. The file is append-only full lines, so
+  // the expected damage after a crash is a truncated tail: stop at the
+  // first line that does not parse (or lacks its newline) and keep
+  // everything before it. Entries replayed here count as Disk when
+  // probed. A damaged journal is rewritten from the recovered entries
+  // (atomically: temp file + rename) so that future appends land after
+  // a clean final newline instead of fusing with the torn tail.
+  const std::filesystem::path path = dir_ / journal_filename(engine_key);
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) return;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+
+  bool damaged = false;
+  std::size_t pos = 0;
+  const auto next_line = [&]() -> std::optional<std::string> {
+    if (pos >= text.size()) return std::nullopt;
+    const auto nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      damaged = true;  // unterminated tail: a crash mid-append
+      pos = text.size();
+      return std::nullopt;
+    }
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  };
+
+  const std::optional<std::string> magic = next_line();
+  if (!magic.has_value() || *magic != kMagic) {
+    if (!text.empty()) damaged = true;  // not a journal at all
+  } else {
+    std::vector<index_t> point;
+    SampleStats stats;
+    while (const std::optional<std::string> line = next_line()) {
+      if (!parse_line(*line, &point, &stats)) {
+        damaged = true;
+        break;
+      }
+      cache.points.emplace(point, Entry{stats, /*from_disk=*/true});
+    }
+  }
+
+  if (damaged) {
+    const std::filesystem::path tmp =
+        path.string() + ".tmp" +
+        std::to_string(
+            std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    std::ofstream out(tmp, std::ios::binary);
+    if (out.good()) {
+      out << kMagic << '\n';
+      for (const auto& [p, entry] : cache.points) {
+        write_line(out, p, entry.stats);
+      }
+      out.close();
+      std::error_code ec;
+      std::filesystem::rename(tmp, path, ec);  // best effort: cache wins
+    }
+  }
+}
+
+void SampleStore::append(std::string_view engine_key, KeyCache& cache,
+                         const std::vector<index_t>& point,
+                         const SampleStats& stats) {
+  if (dir_.empty()) return;
+  // Non-finite statistics (a hostile measure hook) would serialize as
+  // inf/nan, which istream extraction cannot read back -- replay would
+  // treat the line as a torn tail and discard every entry after it.
+  // Keep such points memory-only instead of poisoning the journal.
+  if (!std::isfinite(stats.min) || !std::isfinite(stats.median) ||
+      !std::isfinite(stats.mean) || !std::isfinite(stats.max) ||
+      !std::isfinite(stats.stddev)) {
+    return;
+  }
+  if (!cache.journal.is_open()) {
+    const std::filesystem::path path = dir_ / journal_filename(engine_key);
+    const bool fresh =
+        !std::filesystem::exists(path) || std::filesystem::file_size(path) == 0;
+    // Binary: replay reads in binary and splits on '\n', so text-mode
+    // CRLF translation (Windows) would corrupt the magic-line match.
+    cache.journal.open(path, std::ios::app | std::ios::binary);
+    if (!cache.journal.good()) return;  // read-only repository: stay in memory
+    if (fresh) cache.journal << kMagic << '\n';
+  }
+  // One ostream << chain per line plus a flush: a crash can truncate the
+  // final line but never interleave or corrupt earlier ones.
+  write_line(cache.journal, point, stats);
+  cache.journal.flush();
+}
+
+const SampleStore::Entry& SampleStore::insert_locked(
+    std::string_view engine_key, KeyCache& cache,
+    const std::vector<index_t>& point, const SampleStats& stats) {
+  const auto [it, inserted] =
+      cache.points.emplace(point, Entry{stats, /*from_disk=*/false});
+  if (inserted) append(engine_key, cache, point, stats);
+  return it->second;
+}
+
+SampleStore::Origin SampleStore::probe(std::string_view engine_key,
+                                       const std::vector<index_t>& point,
+                                       SampleStats* stats, bool count_miss) {
+  KeyCache& cache = key_cache(engine_key);
+  std::lock_guard<std::mutex> lock(cache.m);
+  ensure_replayed(engine_key, cache);
+  const auto it = cache.points.find(point);
+  if (it == cache.points.end()) {
+    if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
+    return Origin::Miss;
+  }
+  if (stats != nullptr) *stats = it->second.stats;
+  if (it->second.from_disk) {
+    disk_hits_.fetch_add(1, std::memory_order_relaxed);
+    return Origin::Disk;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return Origin::Memory;
+}
+
+void SampleStore::insert(std::string_view engine_key,
+                         const std::vector<index_t>& point,
+                         const SampleStats& stats) {
+  KeyCache& cache = key_cache(engine_key);
+  std::lock_guard<std::mutex> lock(cache.m);
+  ensure_replayed(engine_key, cache);
+  (void)insert_locked(engine_key, cache, point, stats);
+}
+
+SampleStats SampleStore::get_or_measure(std::string_view engine_key,
                                         const std::vector<index_t>& point,
                                         const Measure& measure) {
-  const Key key{engine_key, point};
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++hits_;
-      return it->second;
-    }
-    ++misses_;
-  }
+  SampleStats found;
+  if (probe(engine_key, point, &found) != Origin::Miss) return found;
   // Measure outside the lock: sampling is the expensive part, and holding
-  // the lock here would serialize all concurrent generations. Keys are
-  // normally generated by one worker each, so duplicated measurements of
-  // one (key, point) pair are rare; when they do race, the first insert
-  // wins and both callers return coherent statistics.
+  // the lock here would serialize all concurrent measurements of the key.
+  // Duplicated measurements of one (key, point) pair can race here; the
+  // first insert wins and both callers return coherent statistics.
   const SampleStats stats = measure(point);
-  std::lock_guard<std::mutex> lock(mutex_);
-  return cache_.emplace(key, stats).first->second;
+  KeyCache& cache = key_cache(engine_key);
+  std::lock_guard<std::mutex> lock(cache.m);
+  return insert_locked(engine_key, cache, point, stats).stats;
 }
 
 std::size_t SampleStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return cache_.size();
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, cache] : keys_) {
+    std::lock_guard<std::mutex> key_lock(cache.m);
+    total += cache.points.size();
+  }
+  return total;
 }
 
 std::uint64_t SampleStore::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
+  return hits_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SampleStore::disk_hits() const {
+  return disk_hits_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t SampleStore::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+  return misses_.load(std::memory_order_relaxed);
 }
 
 void SampleStore::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  cache_.clear();
+  // Nodes are never erased (probers may hold KeyCache references), so
+  // clearing empties each key in place: points dropped, journal stream
+  // closed, replayed reset so a persistent store re-reads its journals.
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  for (auto& [key, cache] : keys_) {
+    std::lock_guard<std::mutex> key_lock(cache.m);
+    cache.points.clear();
+    cache.replayed = false;
+    if (cache.journal.is_open()) cache.journal.close();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  disk_hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace dlap

@@ -1,5 +1,6 @@
 #pragma once
-// Engine-wide measurement store.
+// Engine-wide measurement store, optionally backed by an on-disk sample
+// repository.
 //
 // The generation strategies keep a per-invocation cache (so "samples"
 // means distinct measured points within one run, as in the paper's
@@ -10,15 +11,31 @@
 // on-demand generation -- reuses every measurement already paid for,
 // instead of re-sampling from scratch.
 //
-// Thread safety: all members may be called concurrently. Measurements run
-// outside the lock, so concurrent generations of different keys never
-// serialize on each other's sampling.
+// When constructed with a directory the store becomes *persistent*: every
+// engine key owns an append-only text journal (one file per key, beside
+// the model repository), each measurement is appended as one flushed
+// line, and the journal is replayed lazily on the key's first access.
+// A second run, a widened-domain regeneration, or a crash-resume
+// therefore warm-starts from every measurement a previous process paid
+// for. Appends are single full lines, so a crash can at worst leave a
+// truncated final line -- replay tolerates that by discarding the tail.
+//
+// Thread safety: all members may be called concurrently. Locking is
+// per engine key (a global mutex guards only the key table), so
+// concurrent generations of different keys never serialize on each
+// other's journal replay, appends, or lookups -- and measurements always
+// run outside every lock.
 
+#include <atomic>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sampler/stats.hpp"
@@ -29,30 +46,102 @@ class SampleStore {
  public:
   using Measure = std::function<SampleStats(const std::vector<index_t>&)>;
 
+  /// Where a probed point was found.
+  enum class Origin {
+    Miss,    ///< not known (neither in memory nor in any journal)
+    Memory,  ///< measured earlier by this process
+    Disk,    ///< replayed from the key's on-disk journal
+  };
+
+  /// Memory-only store (dir empty), or a persistent sample repository
+  /// rooted at `dir` (created if absent).
+  explicit SampleStore(std::filesystem::path dir = {});
+
   /// Returns the cached statistics for (engine_key, point), measuring and
   /// inserting them on a miss. engine_key identifies the measurement
   /// context (normally ModelKey::to_string()): points are only shared
   /// between measurements of the same routine/backend/locality/flags.
-  [[nodiscard]] SampleStats get_or_measure(const std::string& engine_key,
+  [[nodiscard]] SampleStats get_or_measure(std::string_view engine_key,
                                            const std::vector<index_t>& point,
                                            const Measure& measure);
 
-  /// Total points cached, across all engine keys.
+  /// Cache probe without measuring; fills *stats when found. Hits always
+  /// bump the hit counters; a miss bumps misses_ only when `count_miss`
+  /// is set (re-checks of a point already counted pass false, keeping
+  /// the "points nobody had" diagnostic exact).
+  [[nodiscard]] Origin probe(std::string_view engine_key,
+                             const std::vector<index_t>& point,
+                             SampleStats* stats, bool count_miss = true);
+
+  /// Inserts a measured point (first insert wins) and appends it to the
+  /// key's journal when the store is persistent.
+  void insert(std::string_view engine_key, const std::vector<index_t>& point,
+              const SampleStats& stats);
+
+  /// Total points cached in memory, across all engine keys.
   [[nodiscard]] std::size_t size() const;
 
-  /// Cache hit / miss counters (monotonic; for diagnostics and tests).
+  /// Cache counters (monotonic; for diagnostics and tests): hits_ counts
+  /// points measured by this process and found again, disk_hits_ points
+  /// served from a replayed journal, misses_ points nobody had.
   [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t disk_hits() const;
   [[nodiscard]] std::uint64_t misses() const;
 
+  /// True when the store writes/replays on-disk journals.
+  [[nodiscard]] bool persistent() const noexcept { return !dir_.empty(); }
+  [[nodiscard]] const std::filesystem::path& directory() const noexcept {
+    return dir_;
+  }
+
+  /// Drops the in-memory cache and counters. Journals are untouched:
+  /// subsequent lookups of a persistent store replay them again.
   void clear();
 
- private:
-  using Key = std::pair<std::string, std::vector<index_t>>;
+  /// Journal file name for an engine key (stable; part of the on-disk
+  /// format). The key is escaped injectively, so distinct keys always
+  /// map to distinct files.
+  [[nodiscard]] static std::string journal_filename(
+      std::string_view engine_key);
 
-  mutable std::mutex mutex_;
-  std::map<Key, SampleStats> cache_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+ private:
+  struct Entry {
+    SampleStats stats;
+    bool from_disk = false;
+  };
+  struct KeyCache {
+    mutable std::mutex m;  ///< guards everything below (per-key locking)
+    std::map<std::vector<index_t>, Entry> points;
+    bool replayed = false;  ///< journal already loaded (or none exists)
+    std::ofstream journal;  ///< lazily opened append stream
+  };
+
+  /// The key's cache node (created if absent). Takes and releases the
+  /// table mutex; node addresses are stable (std::map) and nodes are
+  /// never erased, so the reference stays valid for the store's life.
+  [[nodiscard]] KeyCache& key_cache(std::string_view engine_key);
+
+  /// Replays the key's journal into the cache once. Caller holds
+  /// cache.m.
+  void ensure_replayed(std::string_view engine_key, KeyCache& cache);
+
+  /// Inserts (first wins) and journals the point. Caller holds cache.m
+  /// (with the journal replayed).
+  const Entry& insert_locked(std::string_view engine_key, KeyCache& cache,
+                             const std::vector<index_t>& point,
+                             const SampleStats& stats);
+
+  /// Appends one point to the key's journal (opens it, writing the magic
+  /// header, on first use). Caller holds cache.m.
+  void append(std::string_view engine_key, KeyCache& cache,
+              const std::vector<index_t>& point, const SampleStats& stats);
+
+  std::filesystem::path dir_;
+  mutable std::mutex table_mutex_;  ///< guards keys_ lookup/creation only
+  std::map<std::string, KeyCache, std::less<>> keys_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace dlap

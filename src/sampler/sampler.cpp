@@ -95,7 +95,7 @@ std::vector<double> Sampler::measure_raw(const KernelCall& call) {
     execute_call(call, *backend_, ptrs);
     const std::uint64_t t1 = read_ticks();
     ticks.push_back(static_cast<double>(t1 - t0));
-    ++total_timed_runs_;
+    total_timed_runs_.fetch_add(1, std::memory_order_relaxed);
   }
   return ticks;
 }

@@ -5,6 +5,7 @@
 // chosen memory-locality regime, and reports statistical summaries of the
 // observed ticks.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -51,15 +52,18 @@ class Sampler {
   }
 
   /// Total timed executions performed by this sampler (sample budget
-  /// accounting for the Modeler comparisons, Fig III.8).
+  /// accounting for the Modeler comparisons, Fig III.8). Atomic: one
+  /// sampler may serve concurrent measurements (batched generation fans
+  /// sampling out across threads when the backend's kernels are
+  /// reentrant), and the counter must not lose increments.
   [[nodiscard]] std::uint64_t total_timed_runs() const noexcept {
-    return total_timed_runs_;
+    return total_timed_runs_.load(std::memory_order_relaxed);
   }
 
  private:
   Level3Backend* backend_;
   SamplerConfig config_;
-  std::uint64_t total_timed_runs_ = 0;
+  std::atomic<std::uint64_t> total_timed_runs_{0};
 };
 
 }  // namespace dlap

@@ -1,5 +1,6 @@
 #include "service/model_service.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
@@ -7,9 +8,22 @@
 
 namespace dlap {
 
+std::filesystem::path ModelService::sample_dir_for(
+    const ServiceConfig& config) {
+  if (!config.persist_samples) return {};
+  if (!config.sample_dir.empty()) return config.sample_dir;
+  return config.repository_dir / "samples";
+}
+
 ModelService::ModelService(ServiceConfig config)
     : config_(std::move(config)),
       repo_(config_.repository_dir),
+      samples_(sample_dir_for(config_)),
+      // pool_ is declared last (destroyed first, draining tasks that
+      // touch the members above), so it is NOT yet constructed here:
+      // the scheduler's constructor only stores the address and must
+      // never be changed to dereference it.
+      scheduler_(pool_, samples_),
       pool_(config_.workers) {}
 
 ModelKey ModelService::key_for(const ModelJob& job) {
@@ -43,42 +57,92 @@ std::shared_ptr<const RoutineModel> ModelService::reusable(
   return nullptr;
 }
 
+void ModelService::record_stats(const ModelKey& key, GenerationStats stats) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats.epoch = ++stats_epoch_;
+  stats_[key] = std::move(stats);
+}
+
+void ModelService::record_reuse(const ModelKey& key) {
+  record_stats(key, GenerationStats{});  // generated = false, all zeros
+}
+
+std::optional<GenerationStats> ModelService::generation_stats(
+    const ModelKey& key) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  const auto it = stats_.find(key);
+  if (it == stats_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t ModelService::stats_epoch() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_epoch_;
+}
+
 std::shared_ptr<const RoutineModel> ModelService::generate_one(
-    const ModelJob& job, const ModelKey& key) {
+    const ModelJob& job, const ModelKey& key, bool sequential) {
   if (config_.verbose) {
     std::fprintf(stderr, "[dlaperf] generating model %s ...\n",
                  key.to_string().c_str());
   }
+  const std::string engine_key = key.to_string();
+
+  // Choose the measurement source and how its batches may be scheduled.
+  // Factory sources are deterministic test/bench hooks and fan out over
+  // the pool; real sampling instantiates its own backend so concurrent
+  // workers never share kernel-internal state (thread pools, packing
+  // buffers), and its batches stay serialized on this thread -- the
+  // per-backend-instance exclusivity real timing requires.
+  MeasureFn measure;
+  std::unique_ptr<Level3Backend> backend;
+  std::optional<Modeler> modeler;
+  MeasurementScheduler::Mode mode = MeasurementScheduler::Mode::Exclusive;
+  if (config_.measure_factory) {
+    measure = config_.measure_factory(job);
+    DLAP_REQUIRE(measure != nullptr,
+                 "ServiceConfig::measure_factory returned an empty function");
+    if (!sequential) mode = MeasurementScheduler::Mode::Parallel;
+  } else {
+    backend = make_backend(job.backend);
+    modeler.emplace(*backend);
+    measure = modeler->make_measure_fn(job.request);
+  }
+
+  // The strategy declares what it needs, batch by batch; the scheduler
+  // fulfills each batch from the sample store (memory, then the on-disk
+  // journals), joining concurrent measurements, measuring the rest.
+  auto stepper =
+      make_refinement_stepper(job.request.domain, config_.refinement);
+  GenerationStats stats;
+  stats.generated = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!stepper->done()) {
+    FulfillStats batch;
+    const std::vector<SampleStats> fulfilled = scheduler_.fulfill(
+        engine_key, stepper->required(), measure, mode, &batch);
+    stats.points_measured += batch.measured;
+    stats.points_from_memory += batch.from_memory;
+    stats.points_from_disk += batch.from_disk;
+    stats.points_joined += batch.joined;
+    ++stats.batches;
+    stepper->supply(fulfilled);
+    if (config_.on_progress) config_.on_progress(key, stats);
+  }
+  GenerationResult gen = stepper->take_result();
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
 
   RoutineModel model;
-  if (config_.measure_factory) {
-    MeasureFn base = config_.measure_factory(job);
-    DLAP_REQUIRE(base != nullptr,
-                 "ServiceConfig::measure_factory returned an empty function");
-    // Factory measurements bypass the Modeler, but still flow through the
-    // engine-wide store so regenerations reuse points already paid for.
-    MeasureFn measure = [this, engine_key = key.to_string(),
-                         base](const std::vector<index_t>& point) {
-      return samples_.get_or_measure(engine_key, point, base);
-    };
-    GenerationResult gen = generate_adaptive_refinement(
-        job.request.domain, measure, config_.refinement);
-    model.key = key;
-    model.model = std::move(gen.model);
-    model.unique_samples = gen.unique_samples;
-    model.average_error = gen.average_error;
-    model.strategy = "refinement";
-  } else {
-    // Every generation samples on its own backend instance, so concurrent
-    // workers never share kernel-internal state (thread pools, packing
-    // buffers) and measurements stay interference-free. The Modeler
-    // routes measurements through the engine-wide sample store.
-    std::unique_ptr<Level3Backend> backend = make_backend(job.backend);
-    Modeler modeler(*backend);
-    modeler.set_sample_store(&samples_);
-    model = modeler.build_refinement(job.request, config_.refinement);
-  }
+  model.key = key;
+  model.model = std::move(gen.model);
+  model.unique_samples = gen.unique_samples;
+  model.average_error = gen.average_error;
+  model.strategy = "refinement";
+  stats.unique_samples = model.unique_samples;
   repo_.store(model);
+  record_stats(key, std::move(stats));
 
   if (config_.verbose) {
     std::fprintf(stderr,
@@ -103,6 +167,7 @@ std::vector<std::shared_ptr<const RoutineModel>> ModelService::generate_all(
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const ModelKey key = key_for(jobs[i]);
     if (std::shared_ptr<const RoutineModel> have = reusable(jobs[i], key)) {
+      record_reuse(key);
       ModelPromise ready;
       ready.set_value(std::move(have));
       futures[i] = ready.get_future().share();
@@ -129,7 +194,8 @@ std::vector<std::shared_ptr<const RoutineModel>> ModelService::generate_all(
       static_cast<index_t>(to_run.size()), [&](index_t t) {
         Pending& p = to_run[static_cast<std::size_t>(t)];
         try {
-          p.promise->set_value(generate_one(p.job, p.key));
+          p.promise->set_value(generate_one(p.job, p.key,
+                                            /*sequential=*/false));
         } catch (...) {
           p.promise->set_exception(std::current_exception());
         }
@@ -157,7 +223,9 @@ std::vector<std::shared_ptr<const RoutineModel>>
 ModelService::generate_all_sequential(const std::vector<ModelJob>& jobs) {
   std::vector<std::shared_ptr<const RoutineModel>> out;
   out.reserve(jobs.size());
-  for (const ModelJob& job : jobs) out.push_back(get_or_generate(job));
+  for (const ModelJob& job : jobs) {
+    out.push_back(get_or_generate_impl(job, /*sequential=*/true));
+  }
   return out;
 }
 
@@ -175,9 +243,15 @@ std::shared_ptr<const RoutineModel> ModelService::try_get_or_generate(
 
 std::shared_ptr<const RoutineModel> ModelService::get_or_generate(
     const ModelJob& job) {
+  return get_or_generate_impl(job, /*sequential=*/false);
+}
+
+std::shared_ptr<const RoutineModel> ModelService::get_or_generate_impl(
+    const ModelJob& job, bool sequential) {
   const ModelKey key = key_for(job);
   for (;;) {
     if (std::shared_ptr<const RoutineModel> have = reusable(job, key)) {
+      record_reuse(key);
       return have;
     }
 
@@ -197,7 +271,7 @@ std::shared_ptr<const RoutineModel> ModelService::get_or_generate(
     if (claim != nullptr) {
       std::shared_ptr<const RoutineModel> model;
       try {
-        model = generate_one(job, key);
+        model = generate_one(job, key, sequential);
         claim->set_value(model);
       } catch (...) {
         claim->set_exception(std::current_exception());

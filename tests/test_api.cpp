@@ -524,5 +524,63 @@ TEST(Engine, PrepareWarmsSoQueriesNeedNoGeneration) {
   }
 }
 
+TEST(Engine, PrepareReportsGenerationThenReuse) {
+  TempEngine t("dlap_test_api_prepare_report");
+  const auto specs = RankQuery::trinv_variants(192, 48).candidates;
+
+  // Cold prepare: every key generated, every point freshly measured.
+  PrepareReport cold;
+  ASSERT_TRUE(t.engine.prepare(specs, {}, &cold).ok());
+  ASSERT_FALSE(cold.keys.empty());
+  EXPECT_EQ(cold.keys_generated(),
+            static_cast<index_t>(cold.keys.size()));
+  EXPECT_GT(cold.points_measured(), 0);
+  EXPECT_EQ(cold.points_from_disk(), 0);
+  for (const PrepareReport::Key& key : cold.keys) {
+    EXPECT_TRUE(key.generated) << key.key.to_string();
+    EXPECT_GT(key.unique_samples, 0);
+  }
+
+  // Second prepare: nothing to do, nothing measured.
+  PrepareReport again;
+  ASSERT_TRUE(t.engine.prepare(specs, {}, &again).ok());
+  EXPECT_EQ(again.keys.size(), cold.keys.size());
+  EXPECT_EQ(again.keys_generated(), 0);
+  EXPECT_EQ(again.keys_reused(), static_cast<index_t>(again.keys.size()));
+  EXPECT_EQ(again.points_measured(), 0);
+}
+
+TEST(Engine, FreshEngineWarmStartsFromSampleRepository) {
+  const std::string name = "dlap_test_api_warmstart";
+  namespace fs = std::filesystem;
+  const fs::path sample_dir =
+      fs::temp_directory_path() / (name + "_samples");
+  fs::remove_all(sample_dir);
+  const auto specs = RankQuery::trinv_variants(160, 32).candidates;
+
+  PrepareReport cold;
+  {
+    EngineConfig cfg = test_config(name + "_cold");
+    cfg.service.sample_dir = sample_dir;
+    TempEngine t(name + "_cold", std::move(cfg));
+    ASSERT_TRUE(t.engine.prepare(specs, {}, &cold).ok());
+    EXPECT_GT(cold.points_measured(), 0);
+  }
+
+  // A fresh engine with an EMPTY model repository but the existing
+  // sample repository regenerates every model with zero measurements.
+  EngineConfig cfg = test_config(name + "_warm");
+  cfg.service.sample_dir = sample_dir;
+  TempEngine warm(name + "_warm", std::move(cfg));
+  PrepareReport report;
+  ASSERT_TRUE(warm.engine.prepare(specs, {}, &report).ok());
+  EXPECT_EQ(report.keys_generated(),
+            static_cast<index_t>(report.keys.size()));
+  EXPECT_EQ(report.points_measured(), 0);
+  EXPECT_GT(report.points_from_disk(), 0);
+  EXPECT_EQ(report.points_from_disk(), cold.points_measured());
+  fs::remove_all(sample_dir);
+}
+
 }  // namespace
 }  // namespace dlap

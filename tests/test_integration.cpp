@@ -262,7 +262,9 @@ TEST(IntegrationReal, ModelPredictStoreReloadRoundTrip) {
   req.flags = {'L', 'L', 'N', 'N'};
   req.domain = Region({8, 8}, {96, 96});
   req.fixed_ld = 128;
-  req.sampler.reps = 2;
+  // 3 reps: the median of 2 noisy timings occasionally lets a cubic fit
+  // dip below zero off-lattice under parallel-ctest load.
+  req.sampler.reps = 3;
   req.sampler.locality = Locality::InCache;
 
   RefinementConfig cfg;

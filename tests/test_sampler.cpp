@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "algorithms/sylv.hpp"
+#include "common/threadpool.hpp"
 #include "algorithms/trinv.hpp"
 #include "blas/registry.hpp"
 #include "common/matrix_util.hpp"
@@ -288,6 +289,26 @@ TEST(Sampler, RejectsBadConfig) {
   cfg.reps = 0;
   EXPECT_THROW(Sampler(backend_instance("naive"), cfg),
                invalid_argument_error);
+}
+
+TEST(Sampler, ConcurrentMeasurementsCountEveryTimedRun) {
+  // Batched generation may fan sampling out across threads; the timed-run
+  // counter is atomic so the paper's sample-budget accounting never loses
+  // increments (run under TSan in CI). The naive backend's kernels are
+  // pure functions of their per-call operands, so one sampler instance is
+  // safe to drive from many threads.
+  SamplerConfig cfg;
+  cfg.reps = 4;
+  Sampler s(backend_instance("naive"), cfg);
+  const KernelCall call = parse_call("dgemm(N,N,24,24,24,1,A,24,B,24,0,C,24)");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5;
+  ThreadPool pool(kThreads);
+  pool.parallel_for_each(kThreads, [&](index_t) {
+    for (int i = 0; i < kPerThread; ++i) (void)s.measure(call);
+  });
+  EXPECT_EQ(s.total_timed_runs(),
+            static_cast<std::uint64_t>(kThreads * kPerThread * cfg.reps));
 }
 
 // ---------------------------------------------------------------- machine

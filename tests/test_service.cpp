@@ -10,10 +10,15 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <mutex>
+#include <random>
 #include <sstream>
 #include <thread>
 
+#include "api/plan.hpp"
+#include "api/query.hpp"
 #include "common/threadpool.hpp"
+#include "ops/registry.hpp"
 #include "predict/trace.hpp"
 #include "service/model_service.hpp"
 #include "service/repository_predictor.hpp"
@@ -95,6 +100,7 @@ std::vector<ModelJob> four_jobs(index_t hi = 128) {
 std::map<std::string, std::string> repository_files(const fs::path& dir) {
   std::map<std::string, std::string> files;
   for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".model") continue;  // skip samples/
     std::ifstream in(entry.path());
     std::ostringstream buf;
     buf << in.rdbuf();
@@ -206,6 +212,117 @@ TEST(ModelService, SampleStoreReusesMeasurementsAcrossGenerations)
   fs::remove_all(dir);
 }
 
+// The on-disk sample repository makes a *different service instance*
+// (a second process run, or a crash-resume) regenerate a key with zero
+// new measurements: everything comes back from the journals.
+TEST(ModelService, WarmStartFromSampleRepositoryMeasuresNothing) {
+  const fs::path dir1 = fresh_dir("dlap_svc_warm1");
+  const fs::path dir2 = fresh_dir("dlap_svc_warm2");
+  const fs::path sample_dir = fresh_dir("dlap_svc_warm_samples");
+  auto counting = std::make_shared<std::atomic<int>>(0);
+  const auto factory = [counting](const ModelJob& job) {
+    const double offset = offset_for(job);
+    return MeasureFn([counting, offset](const std::vector<index_t>& point) {
+      ++*counting;
+      return synthetic_measure(offset)(point);
+    });
+  };
+  const std::vector<ModelJob> jobs = four_jobs();
+
+  std::map<std::string, std::string> cold_files;
+  {
+    ServiceConfig cfg;
+    cfg.repository_dir = dir1;
+    cfg.sample_dir = sample_dir;
+    cfg.workers = 2;
+    cfg.measure_factory = factory;
+    ModelService cold(cfg);
+    (void)cold.generate_all(jobs);
+    cold_files = repository_files(dir1);
+  }
+  const int cold_calls = counting->load();
+  EXPECT_GT(cold_calls, 0);
+
+  // Fresh service, EMPTY model repository, same sample repository: the
+  // models are regenerated bit-identically without a single measurement.
+  ServiceConfig cfg;
+  cfg.repository_dir = dir2;
+  cfg.sample_dir = sample_dir;
+  cfg.workers = 2;
+  cfg.measure_factory = factory;
+  ModelService warm(cfg);
+  (void)warm.generate_all(jobs);
+  EXPECT_EQ(counting->load(), cold_calls);
+  EXPECT_EQ(repository_files(dir2), cold_files);
+  for (const ModelJob& job : jobs) {
+    const auto stats = warm.generation_stats(ModelService::key_for(job));
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_TRUE(stats->generated);
+    EXPECT_EQ(stats->points_measured, 0);
+    EXPECT_GT(stats->points_from_disk, 0);
+    EXPECT_EQ(stats->unique_samples,
+              stats->points_from_disk + stats->points_from_memory +
+                  stats->points_joined);
+  }
+  fs::remove_all(dir1);
+  fs::remove_all(dir2);
+  fs::remove_all(sample_dir);
+}
+
+TEST(ModelService, PersistenceCanBeDisabled) {
+  const fs::path dir = fresh_dir("dlap_svc_nopersist");
+  ServiceConfig cfg = synthetic_config(dir, 1);
+  cfg.persist_samples = false;
+  ModelService service(cfg);
+  (void)service.generate_all({four_jobs().front()});
+  EXPECT_FALSE(service.samples().persistent());
+  EXPECT_FALSE(fs::exists(dir / "samples"));
+  fs::remove_all(dir);
+}
+
+TEST(ModelService, GenerationStatsDistinguishGenerateAndReuse) {
+  const fs::path dir = fresh_dir("dlap_svc_stats");
+  ModelService service(synthetic_config(dir, 2));
+  const ModelJob job = four_jobs().front();
+  const ModelKey key = ModelService::key_for(job);
+
+  EXPECT_FALSE(service.generation_stats(key).has_value());
+  const std::uint64_t epoch0 = service.stats_epoch();
+  (void)service.get_or_generate(job);
+  auto first = service.generation_stats(key);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->generated);
+  EXPECT_GT(first->points_measured, 0);
+  EXPECT_GT(first->batches, 0);
+  EXPECT_GT(first->epoch, epoch0);
+
+  // Second request: served from the repository, recorded as a reuse.
+  (void)service.get_or_generate(job);
+  auto second = service.generation_stats(key);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(second->generated);
+  EXPECT_GT(second->epoch, first->epoch);
+  fs::remove_all(dir);
+}
+
+TEST(ModelService, ProgressCallbackStreamsPerKeyBatches) {
+  const fs::path dir = fresh_dir("dlap_svc_progress");
+  ServiceConfig cfg = synthetic_config(dir, 2);
+  std::mutex mutex;
+  std::map<std::string, index_t> last_batches;
+  cfg.on_progress = [&](const ModelKey& key, const GenerationStats& s) {
+    std::lock_guard<std::mutex> lock(mutex);
+    index_t& batches = last_batches[key.to_string()];
+    EXPECT_EQ(s.batches, batches + 1);  // monotone, per key
+    batches = s.batches;
+  };
+  ModelService service(cfg);
+  (void)service.generate_all(four_jobs());
+  EXPECT_EQ(last_batches.size(), 4u);
+  for (const auto& [key, batches] : last_batches) EXPECT_GE(batches, 1);
+  fs::remove_all(dir);
+}
+
 TEST(ModelService, DuplicateKeyWithWiderDomainStillGetsCoveringModel) {
   const fs::path dir = fresh_dir("dlap_svc_widen");
   ModelService service(synthetic_config(dir, 4));
@@ -238,6 +355,51 @@ TEST(ModelService, CorruptRepositoryFileIsRegenerated) {
   EXPECT_EQ(ModelRepository::serialize(*regenerated),
             ModelRepository::serialize(*original));
   fs::remove_all(dir);
+}
+
+// Randomized batched-vs-sequential bit-identity across the registered
+// operation families: jobs planned from real trinv/sylv/chol traces (the
+// same planning path Engine queries use), generated concurrently on one
+// service and strictly sequentially on another, must produce bit-identical
+// repository files -- whatever batch shapes the random sizes produce.
+TEST(ModelService, RandomizedBatchedGenerationIsBitIdenticalAcrossFamilies) {
+  std::mt19937 rng(20260730u);
+  std::uniform_int_distribution<index_t> size(96, 224);
+  std::uniform_int_distribution<index_t> blocks(16, 48);
+  std::uniform_int_distribution<int> trinv_variant(1, 4);
+  std::uniform_int_distribution<int> chol_variant(1, 3);
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<OperationSpec> specs;
+    specs.push_back(OperationSpec::trinv(trinv_variant(rng), size(rng),
+                                         8 * (blocks(rng) / 8)));
+    specs.push_back(
+        OperationSpec::sylv(1 + round, size(rng), size(rng), 32));
+    specs.push_back(OperationSpec::chol(chol_variant(rng), size(rng),
+                                        8 * (blocks(rng) / 8)));
+    for (const OperationSpec& spec : specs) {
+      ASSERT_TRUE(spec.validate().ok()) << spec.op;
+    }
+    const std::vector<ModelJob> jobs =
+        plan_jobs_for_specs(specs, SystemSpec{}, PlanningPolicy{});
+    ASSERT_GT(jobs.size(), 3u);
+
+    const fs::path dir_par =
+        fresh_dir("dlap_svc_rand_par" + std::to_string(round));
+    const fs::path dir_seq =
+        fresh_dir("dlap_svc_rand_seq" + std::to_string(round));
+    ModelService parallel(synthetic_config(dir_par, 4));
+    ModelService sequential(synthetic_config(dir_seq, 1));
+    (void)parallel.generate_all(jobs);
+    (void)sequential.generate_all_sequential(jobs);
+
+    const auto par_files = repository_files(dir_par);
+    const auto seq_files = repository_files(dir_seq);
+    EXPECT_EQ(par_files.size(), jobs.size()) << "round " << round;
+    EXPECT_EQ(par_files, seq_files) << "round " << round;
+    fs::remove_all(dir_par);
+    fs::remove_all(dir_seq);
+  }
 }
 
 // ------------------------------------------------- concurrent repository

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <functional>
+#include <set>
 
 #include "modeler/strategies.hpp"
 
@@ -273,6 +274,130 @@ TEST(ModelExpansion, RejectsBadConfig) {
   EXPECT_THROW(
       generate_model_expansion(domain, make_fn(smooth_quadratic), tiny),
       invalid_argument_error);
+}
+
+// ----------------------------------------------------------- steppers
+
+// Drives a stepper manually (batch by batch) and checks the incremental
+// protocol along the way: batches are non-empty while running, contain
+// only never-requested points, and events stream out monotonically.
+GenerationResult drive_checked(GenerationStepper& stepper,
+                               const MeasureFn& measure) {
+  std::set<std::vector<index_t>> requested;
+  std::size_t events_seen = 0;
+  while (!stepper.done()) {
+    const auto& batch = stepper.required();
+    EXPECT_FALSE(batch.empty());
+    std::vector<SampleStats> stats;
+    for (const auto& point : batch) {
+      EXPECT_TRUE(requested.insert(point).second)
+          << "point requested twice across batches";
+      stats.push_back(measure(point));
+    }
+    EXPECT_GE(stepper.events().size(), events_seen);
+    events_seen = stepper.events().size();
+    stepper.supply(stats);
+  }
+  EXPECT_TRUE(stepper.required().empty());
+  GenerationResult result = stepper.take_result();
+  EXPECT_EQ(result.unique_samples,
+            static_cast<index_t>(requested.size()));
+  return result;
+}
+
+void expect_same_result(const GenerationResult& a,
+                        const GenerationResult& b) {
+  EXPECT_EQ(a.unique_samples, b.unique_samples);
+  EXPECT_EQ(a.average_error, b.average_error);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(a.events[i].kind),
+              static_cast<int>(b.events[i].kind));
+    EXPECT_EQ(a.events[i].region, b.events[i].region);
+    EXPECT_EQ(a.events[i].error, b.events[i].error);
+    EXPECT_EQ(a.events[i].samples_so_far, b.events[i].samples_so_far);
+  }
+  ASSERT_EQ(a.model.pieces().size(), b.model.pieces().size());
+  for (std::size_t i = 0; i < a.model.pieces().size(); ++i) {
+    EXPECT_EQ(a.model.pieces()[i].region, b.model.pieces()[i].region);
+    EXPECT_EQ(a.model.pieces()[i].fit_error, b.model.pieces()[i].fit_error);
+    EXPECT_EQ(a.model.pieces()[i].samples_used,
+              b.model.pieces()[i].samples_used);
+  }
+  // Spot-check identical evaluation across the domain.
+  const Region& d = a.model.domain();
+  for (index_t x = d.lo(0); x <= d.hi(0); x += 64) {
+    std::vector<index_t> p(static_cast<std::size_t>(d.dims()), x);
+    EXPECT_EQ(a.model.evaluate(p).median, b.model.evaluate(p).median);
+  }
+}
+
+TEST(GenerationStepper, RefinementStepperMatchesBlockingDriver) {
+  const Region domain({8}, {1024});
+  auto stepper = make_refinement_stepper(domain, refine_cfg(0.05, 32));
+  const GenerationResult stepped =
+      drive_checked(*stepper, make_fn(jumpy_1d));
+  const GenerationResult blocking = generate_adaptive_refinement(
+      domain, make_fn(jumpy_1d), refine_cfg(0.05, 32));
+  expect_same_result(stepped, blocking);
+}
+
+TEST(GenerationStepper, ExpansionStepperMatchesBlockingDriver) {
+  const Region domain({8, 8}, {256, 256});
+  for (const auto dir : {ExpansionConfig::Direction::AwayFromOrigin,
+                         ExpansionConfig::Direction::TowardOrigin}) {
+    auto stepper =
+        make_expansion_stepper(domain, expand_cfg(0.05, dir, 64));
+    const GenerationResult stepped =
+        drive_checked(*stepper, make_fn(smooth_2d));
+    const GenerationResult blocking = generate_model_expansion(
+        domain, make_fn(smooth_2d), expand_cfg(0.05, dir, 64));
+    expect_same_result(stepped, blocking);
+  }
+}
+
+TEST(GenerationStepper, EventsStreamDuringConstruction) {
+  const Region domain({8}, {1024});
+  auto stepper = make_refinement_stepper(domain, refine_cfg(0.05, 32));
+  const MeasureFn fn = make_fn(jumpy_1d);
+  bool saw_events_midway = false;
+  while (!stepper->done()) {
+    std::vector<SampleStats> stats;
+    for (const auto& p : stepper->required()) stats.push_back(fn(p));
+    stepper->supply(stats);
+    if (!stepper->done() && !stepper->events().empty()) {
+      saw_events_midway = true;
+    }
+  }
+  EXPECT_TRUE(saw_events_midway);
+}
+
+TEST(GenerationStepper, ProtocolViolationsThrow) {
+  const Region domain({8}, {256});
+  auto stepper =
+      make_refinement_stepper(domain, refine_cfg(0.10, 32));
+  EXPECT_FALSE(stepper->done());
+  // Wrong batch size.
+  EXPECT_THROW(stepper->supply({}), invalid_argument_error);
+  // Result before completion.
+  EXPECT_THROW((void)stepper->take_result(), invalid_argument_error);
+  // Completing normally still works afterwards.
+  const GenerationResult r = drive_stepper(*stepper, make_fn(smooth_quadratic));
+  EXPECT_GT(r.unique_samples, 0);
+  EXPECT_THROW(
+      stepper->supply(std::vector<SampleStats>{}), invalid_argument_error);
+}
+
+TEST(GenerationStepper, FactoriesValidateConfigs) {
+  const Region domain({8}, {64});
+  EXPECT_THROW((void)make_refinement_stepper(domain, refine_cfg(0.0, 32)),
+               invalid_argument_error);
+  EXPECT_THROW((void)make_refinement_stepper(domain, refine_cfg(0.1, 2)),
+               invalid_argument_error);
+  ExpansionConfig tiny =
+      expand_cfg(0.1, ExpansionConfig::Direction::TowardOrigin, 2);
+  EXPECT_THROW((void)make_expansion_stepper(domain, tiny),
+               invalid_argument_error);
 }
 
 // --------------------------------------------------- strategy comparison
