@@ -604,6 +604,11 @@ Status Engine::prepare(const std::vector<OperationSpec>& specs,
         entry.points_from_disk = stats->points_from_disk;
         entry.wall_ms = stats->wall_ms;
       }
+      // Provenance of whatever model now serves the key (reused keys
+      // included): text file, binary container, or this-process build.
+      if (const auto model = service_.find(key)) {
+        entry.source = model->source;
+      }
       report->keys.push_back(std::move(entry));
     }
     return status;
@@ -620,6 +625,12 @@ index_t PrepareReport::keys_generated() const noexcept {
 
 index_t PrepareReport::keys_reused() const noexcept {
   return static_cast<index_t>(keys.size()) - keys_generated();
+}
+
+index_t PrepareReport::keys_from_container() const noexcept {
+  index_t n = 0;
+  for (const Key& k : keys) n += k.from_container() ? 1 : 0;
+  return n;
 }
 
 index_t PrepareReport::points_measured() const noexcept {

@@ -88,6 +88,13 @@ struct PrepareReport {
     /// True when this prepare call (re)generated the model; false when a
     /// repository/cache model already covered the needed domain.
     bool generated = false;
+    /// Provenance of the model now serving this key: Generated,
+    /// TextFile, or Container (loaded zero-copy from a .dlapc file).
+    ModelSource source = ModelSource::Generated;
+    /// Convenience: source == ModelSource::Container.
+    [[nodiscard]] bool from_container() const noexcept {
+      return source == ModelSource::Container;
+    }
     index_t unique_samples = 0;
     index_t points_measured = 0;
     index_t points_from_memory = 0;
@@ -98,6 +105,8 @@ struct PrepareReport {
 
   [[nodiscard]] index_t keys_generated() const noexcept;
   [[nodiscard]] index_t keys_reused() const noexcept;
+  /// Keys whose serving model came out of a binary container.
+  [[nodiscard]] index_t keys_from_container() const noexcept;
   [[nodiscard]] index_t points_measured() const noexcept;
   [[nodiscard]] index_t points_from_memory() const noexcept;
   [[nodiscard]] index_t points_from_disk() const noexcept;

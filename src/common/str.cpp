@@ -98,4 +98,39 @@ std::string escape_filename_component(std::string_view s) {
   return out;
 }
 
+std::string unescape_filename_component(std::string_view s) {
+  const auto hex_digit = [&](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    throw parse_error("bad escaped file name component: '" + std::string(s) +
+                      "'");
+  };
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c != '-') {
+      const auto u = static_cast<unsigned char>(c);
+      if (!std::isalnum(u) && c != '_') {
+        throw parse_error("bad escaped file name component: '" +
+                          std::string(s) + "'");
+      }
+      out.push_back(c);
+      continue;
+    }
+    if (i + 1 < s.size() && s[i + 1] == 't') {
+      out.push_back('@');
+      i += 1;
+    } else if (i + 3 < s.size() && s[i + 1] == 'x') {
+      out.push_back(static_cast<char>(16 * hex_digit(s[i + 2]) +
+                                      hex_digit(s[i + 3])));
+      i += 3;
+    } else {
+      throw parse_error("bad escaped file name component: '" +
+                        std::string(s) + "'");
+    }
+  }
+  return out;
+}
+
 }  // namespace dlap

@@ -43,4 +43,10 @@ namespace dlap {
 /// names, even for path-hostile backend specs or flag strings.
 [[nodiscard]] std::string escape_filename_component(std::string_view s);
 
+/// Inverse of escape_filename_component; throws dlap::parse_error on a
+/// malformed escape sequence (a component that the escaper cannot have
+/// produced). Used by the container packer to recover engine keys from
+/// sample-journal file names.
+[[nodiscard]] std::string unescape_filename_component(std::string_view s);
+
 }  // namespace dlap

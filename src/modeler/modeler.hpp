@@ -80,6 +80,23 @@ struct ModelKeyLess {
   }
 };
 
+/// Where a RoutineModel came from (provenance surfaced through the
+/// service's GenerationStats and the engine's PrepareReport).
+enum class ModelSource {
+  Generated,  ///< built by the Modeler in this process
+  TextFile,   ///< deserialized from a per-model text file
+  Container,  ///< loaded from a .dlapc binary container
+};
+
+[[nodiscard]] constexpr const char* to_string(ModelSource s) noexcept {
+  switch (s) {
+    case ModelSource::Generated: return "generated";
+    case ModelSource::TextFile: return "text";
+    case ModelSource::Container: return "container";
+  }
+  return "?";
+}
+
 /// A generated model plus provenance.
 struct RoutineModel {
   ModelKey key;
@@ -87,6 +104,7 @@ struct RoutineModel {
   index_t unique_samples = 0;
   double average_error = 0.0;
   std::string strategy;  ///< "expansion" or "refinement"
+  ModelSource source = ModelSource::Generated;
 };
 
 /// What to model: the call family (routine + fixed flags/scalars/leading

@@ -98,15 +98,68 @@ double Polynomial::evaluate(const std::vector<double>& x) const {
 VecPolynomial::VecPolynomial(int dims, int degree, Normalization norm,
                              std::vector<std::vector<double>> coeffs_per_stat)
     : dims_(dims), degree_(degree), norm_(std::move(norm)),
-      coeffs_(std::move(coeffs_per_stat)),
+      ncoef_(static_cast<std::size_t>(monomial_count(dims, degree))),
       basis_(monomial_basis(dims, degree)) {
-  DLAP_REQUIRE(coeffs_.size() == static_cast<std::size_t>(kStatCount),
+  DLAP_REQUIRE(coeffs_per_stat.size() == static_cast<std::size_t>(kStatCount),
                "need one coefficient vector per statistic");
-  for (const auto& c : coeffs_) {
-    DLAP_REQUIRE(static_cast<index_t>(c.size()) ==
-                     monomial_count(dims, degree),
-                 "coefficient count does not match basis");
+  owned_.reserve(static_cast<std::size_t>(kStatCount) * ncoef_);
+  for (const auto& c : coeffs_per_stat) {
+    DLAP_REQUIRE(c.size() == ncoef_, "coefficient count does not match basis");
+    owned_.insert(owned_.end(), c.begin(), c.end());
   }
+  table_ = owned_.data();
+}
+
+VecPolynomial::VecPolynomial(int dims, int degree, Normalization norm,
+                             const double* table, Borrow)
+    : dims_(dims), degree_(degree), norm_(std::move(norm)), table_(table),
+      ncoef_(static_cast<std::size_t>(monomial_count(dims, degree))),
+      basis_(monomial_basis(dims, degree)) {
+  DLAP_REQUIRE(table != nullptr, "borrowed coefficient table is null");
+}
+
+VecPolynomial::VecPolynomial(const VecPolynomial& other)
+    : dims_(other.dims_), degree_(other.degree_), norm_(other.norm_),
+      ncoef_(other.ncoef_), basis_(other.basis_) {
+  // Copies always own: a borrowed table's lifetime contract is tied to
+  // the original (whose owner pins the mapping), not to copies handed
+  // around by value.
+  if (other.table_ != nullptr) {
+    owned_.assign(other.table_,
+                  other.table_ + static_cast<std::size_t>(kStatCount) * ncoef_);
+    table_ = owned_.data();
+  }
+}
+
+VecPolynomial::VecPolynomial(VecPolynomial&& other) noexcept
+    : dims_(other.dims_), degree_(other.degree_), norm_(std::move(other.norm_)),
+      owned_(std::move(other.owned_)), table_(other.table_),
+      ncoef_(other.ncoef_), basis_(std::move(other.basis_)) {
+  // Moving a vector keeps its heap buffer address, so table_ stays valid
+  // for the owned case and still points at the external storage for the
+  // borrowed one.
+  other.table_ = nullptr;
+  other.ncoef_ = 0;
+}
+
+VecPolynomial& VecPolynomial::operator=(const VecPolynomial& other) {
+  if (this != &other) *this = VecPolynomial(other);
+  return *this;
+}
+
+VecPolynomial& VecPolynomial::operator=(VecPolynomial&& other) noexcept {
+  if (this != &other) {
+    dims_ = other.dims_;
+    degree_ = other.degree_;
+    norm_ = std::move(other.norm_);
+    owned_ = std::move(other.owned_);
+    table_ = other.table_;
+    ncoef_ = other.ncoef_;
+    basis_ = std::move(other.basis_);
+    other.table_ = nullptr;
+    other.ncoef_ = 0;
+  }
+  return *this;
 }
 
 SampleStats VecPolynomial::evaluate_into(const std::vector<double>& x,
@@ -117,7 +170,7 @@ SampleStats VecPolynomial::evaluate_into(const std::vector<double>& x,
   SampleStats out;
   for (int s = 0; s < kStatCount; ++s) {
     double v = 0.0;
-    const auto& c = coeffs_[static_cast<std::size_t>(s)];
+    const double* c = table_ + static_cast<std::size_t>(s) * ncoef_;
     for (std::size_t m = 0; m < phi.size(); ++m) v += c[m] * phi[m];
     out.set(static_cast<Stat>(s), std::max(0.0, v));
   }
@@ -148,7 +201,7 @@ double VecPolynomial::evaluate_stat(Stat s,
   std::vector<double> phi;
   evaluate_basis(basis_, z, phi);
   double v = 0.0;
-  const auto& c = coeffs_[static_cast<std::size_t>(s)];
+  const double* c = table_ + static_cast<std::size_t>(s) * ncoef_;
   for (std::size_t m = 0; m < phi.size(); ++m) v += c[m] * phi[m];
   return v;
 }

@@ -4,6 +4,7 @@
 // vector-valued polynomial -- one scalar polynomial per statistical
 // quantity, all sharing the same monomial basis and normalization.
 
+#include <span>
 #include <vector>
 
 #include "sampler/stats.hpp"
@@ -66,19 +67,47 @@ class Polynomial {
 /// is computed once at construction, so evaluation is normalization +
 /// basis products + dot products only -- this class sits on the predict
 /// hot path.
+///
+/// The coefficient matrix is one flat row-major [stat][monomial] table of
+/// doubles that is either *owned* or *borrowed*: the binary model
+/// container (src/storage/) constructs borrowed polynomials whose table
+/// points straight into an mmap'ed file, so loading a model performs no
+/// coefficient copy or parse at all. Borrowed storage must outlive the
+/// polynomial; the storage layer guarantees this by pinning the file
+/// mapping in the shared_ptr that owns the loaded model. Copying a
+/// borrowed polynomial materializes an owned table (a moved one keeps
+/// borrowing), so value copies can never dangle.
 class VecPolynomial {
  public:
   VecPolynomial() = default;
   VecPolynomial(int dims, int degree, Normalization norm,
                 std::vector<std::vector<double>> coeffs_per_stat);
 
+  /// Non-owning: `table` must point at kStatCount * monomial_count(dims,
+  /// degree) doubles, row-major [stat][monomial], 8-byte aligned, alive
+  /// for as long as this polynomial (and every move of it) is used.
+  struct Borrow {};
+  VecPolynomial(int dims, int degree, Normalization norm,
+                const double* table, Borrow);
+
+  VecPolynomial(const VecPolynomial& other);
+  VecPolynomial(VecPolynomial&& other) noexcept;
+  VecPolynomial& operator=(const VecPolynomial& other);
+  VecPolynomial& operator=(VecPolynomial&& other) noexcept;
+  ~VecPolynomial() = default;
+
   [[nodiscard]] int dims() const noexcept { return dims_; }
   [[nodiscard]] int degree() const noexcept { return degree_; }
   [[nodiscard]] const Normalization& normalization() const noexcept {
     return norm_;
   }
-  [[nodiscard]] const std::vector<double>& coefficients(Stat s) const {
-    return coeffs_[static_cast<std::size_t>(s)];
+  [[nodiscard]] std::span<const double> coefficients(Stat s) const {
+    return {table_ + static_cast<std::size_t>(s) * ncoef_, ncoef_};
+  }
+  /// True when the coefficient table lives in this object (false: it is a
+  /// view into external storage, e.g. an mmap'ed model container).
+  [[nodiscard]] bool owns_coefficients() const noexcept {
+    return table_ == nullptr || table_ == owned_.data();
   }
 
   /// Evaluates every statistic at x. Statistics that must be nonnegative
@@ -105,8 +134,10 @@ class VecPolynomial {
   int dims_ = 0;
   int degree_ = 0;
   Normalization norm_;
-  std::vector<std::vector<double>> coeffs_;  // [stat][monomial]
-  std::vector<std::vector<int>> basis_;      // cached monomial exponents
+  std::vector<double> owned_;        // backing store when owning (else empty)
+  const double* table_ = nullptr;    // flat [stat][monomial]; owned_ or borrowed
+  std::size_t ncoef_ = 0;            // monomials per stat
+  std::vector<std::vector<int>> basis_;  // cached monomial exponents
 };
 
 /// Evaluates the monomial basis at normalized point z (helper shared by

@@ -1,12 +1,15 @@
 #include "modeler/repository.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <iomanip>
+#include <span>
 #include <sstream>
 #include <thread>
 
 #include "common/str.hpp"
+#include "storage/container.hpp"
 
 namespace dlap {
 
@@ -14,7 +17,7 @@ namespace {
 
 constexpr const char* kMagic = "dlaperf-model v1";
 
-void write_doubles(std::ostream& os, const std::vector<double>& v) {
+void write_doubles(std::ostream& os, std::span<const double> v) {
   os << std::setprecision(17);
   for (double x : v) os << ' ' << x;
 }
@@ -48,6 +51,22 @@ std::string escape_component(const std::string& component) {
 ModelRepository::ModelRepository(std::filesystem::path dir)
     : dir_(std::move(dir)) {
   std::filesystem::create_directories(dir_);
+  const std::filesystem::path packed = dir_ / storage::kContainerFilename;
+  if (std::filesystem::exists(packed)) {
+    container_ = storage::ContainerReader::open(packed);
+  }
+}
+
+void ModelRepository::attach_container(
+    std::shared_ptr<const storage::ContainerReader> reader) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  container_ = std::move(reader);
+}
+
+std::shared_ptr<const storage::ContainerReader> ModelRepository::container()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return container_;
 }
 
 std::string ModelRepository::filename(const ModelKey& key) {
@@ -108,14 +127,22 @@ std::string ModelRepository::serialize(const RoutineModel& m) {
 }
 
 RoutineModel ModelRepository::deserialize(const std::string& text) {
+  return deserialize(text, "<model text>");
+}
+
+RoutineModel ModelRepository::deserialize(const std::string& text,
+                                          const std::string& source) {
   std::istringstream lines(text);
   std::string line;
+  std::size_t lineno = 0;  // 1-based number of the line being parsed
 
   auto next_line = [&]() -> std::string {
     while (std::getline(lines, line)) {
+      ++lineno;
       const std::string_view t = trim(line);
       if (!t.empty()) return std::string(t);
     }
+    ++lineno;
     throw parse_error("model file: unexpected end of file");
   };
   auto expect_kv = [&](const std::string& key) -> std::string {
@@ -128,76 +155,93 @@ RoutineModel ModelRepository::deserialize(const std::string& text) {
                                  : std::string();
   };
 
-  if (next_line() != kMagic) {
-    throw parse_error("model file: bad magic (not a dlaperf model)");
-  }
+  try {
+    if (next_line() != kMagic) {
+      throw parse_error("model file: bad magic (not a dlaperf model)");
+    }
 
-  RoutineModel m;
-  m.key.routine = expect_kv("routine");
-  m.key.backend = expect_kv("backend");
-  m.key.locality = locality_from_name(expect_kv("locality"));
-  const std::string flags = expect_kv("flags");
-  m.key.flags = (flags == "-") ? "" : flags;
-  const std::string strategy = expect_kv("strategy");
-  m.strategy = (strategy == "-") ? "" : strategy;
-  m.unique_samples = static_cast<index_t>(parse_int(expect_kv("unique_samples")));
-  m.average_error = parse_double(expect_kv("average_error"));
+    RoutineModel m;
+    m.source = ModelSource::TextFile;
+    m.key.routine = expect_kv("routine");
+    m.key.backend = expect_kv("backend");
+    m.key.locality = locality_from_name(expect_kv("locality"));
+    const std::string flags = expect_kv("flags");
+    m.key.flags = (flags == "-") ? "" : flags;
+    const std::string strategy = expect_kv("strategy");
+    m.strategy = (strategy == "-") ? "" : strategy;
+    m.unique_samples =
+        static_cast<index_t>(parse_int(expect_kv("unique_samples")));
+    m.average_error = parse_double(expect_kv("average_error"));
 
-  const int dims = static_cast<int>(parse_int(expect_kv("dims")));
-  DLAP_REQUIRE(dims >= 1 && dims <= 8, "model file: implausible dims");
+    const int dims = static_cast<int>(parse_int(expect_kv("dims")));
+    DLAP_REQUIRE(dims >= 1 && dims <= 8, "model file: implausible dims");
 
-  std::istringstream dom(expect_kv("domain"));
-  const std::vector<index_t> dbounds = read_indices(dom, 2 * dims);
-  std::vector<index_t> dlo(dims), dhi(dims);
-  for (int d = 0; d < dims; ++d) {
-    dlo[d] = dbounds[2 * d];
-    dhi[d] = dbounds[2 * d + 1];
-  }
-
-  const auto npieces = parse_int(expect_kv("pieces"));
-  DLAP_REQUIRE(npieces >= 1, "model file: no pieces");
-  std::vector<RegionModel> pieces;
-  pieces.reserve(static_cast<std::size_t>(npieces));
-
-  for (long long pi = 0; pi < npieces; ++pi) {
-    if (next_line() != "piece") throw parse_error("model file: missing piece");
-    std::istringstream bnd(expect_kv("bounds"));
-    const std::vector<index_t> bounds = read_indices(bnd, 2 * dims);
-    std::vector<index_t> lo(dims), hi(dims);
+    std::istringstream dom(expect_kv("domain"));
+    const std::vector<index_t> dbounds = read_indices(dom, 2 * dims);
+    std::vector<index_t> dlo(dims), dhi(dims);
     for (int d = 0; d < dims; ++d) {
-      lo[d] = bounds[2 * d];
-      hi[d] = bounds[2 * d + 1];
+      dlo[d] = dbounds[2 * d];
+      dhi[d] = dbounds[2 * d + 1];
     }
-    RegionModel piece;
-    piece.region = Region(lo, hi);
-    piece.fit_error = parse_double(expect_kv("fit_error"));
-    piece.mean_error = parse_double(expect_kv("mean_error"));
-    piece.samples_used = static_cast<index_t>(parse_int(expect_kv("samples")));
-    const int degree = static_cast<int>(parse_int(expect_kv("degree")));
 
-    Normalization norm;
-    std::istringstream sh(expect_kv("shift"));
-    norm.shift = read_doubles(sh, static_cast<std::size_t>(dims));
-    std::istringstream sc(expect_kv("scale"));
-    norm.scale = read_doubles(sc, static_cast<std::size_t>(dims));
+    const auto npieces = parse_int(expect_kv("pieces"));
+    DLAP_REQUIRE(npieces >= 1, "model file: no pieces");
+    std::vector<RegionModel> pieces;
+    pieces.reserve(static_cast<std::size_t>(npieces));
 
-    const std::size_t ncoef =
-        static_cast<std::size_t>(monomial_count(dims, degree));
-    std::vector<std::vector<double>> coeffs(kStatCount);
-    for (int s = 0; s < kStatCount; ++s) {
-      std::istringstream cs(expect_kv("coef"));
-      std::string name;
-      cs >> name;
-      const Stat stat = stat_from_name(name);
-      coeffs[static_cast<std::size_t>(stat)] = read_doubles(cs, ncoef);
+    for (long long pi = 0; pi < npieces; ++pi) {
+      if (next_line() != "piece") {
+        throw parse_error("model file: missing piece");
+      }
+      std::istringstream bnd(expect_kv("bounds"));
+      const std::vector<index_t> bounds = read_indices(bnd, 2 * dims);
+      std::vector<index_t> lo(dims), hi(dims);
+      for (int d = 0; d < dims; ++d) {
+        lo[d] = bounds[2 * d];
+        hi[d] = bounds[2 * d + 1];
+      }
+      RegionModel piece;
+      piece.region = Region(lo, hi);
+      piece.fit_error = parse_double(expect_kv("fit_error"));
+      piece.mean_error = parse_double(expect_kv("mean_error"));
+      piece.samples_used =
+          static_cast<index_t>(parse_int(expect_kv("samples")));
+      const int degree = static_cast<int>(parse_int(expect_kv("degree")));
+
+      Normalization norm;
+      std::istringstream sh(expect_kv("shift"));
+      norm.shift = read_doubles(sh, static_cast<std::size_t>(dims));
+      std::istringstream sc(expect_kv("scale"));
+      norm.scale = read_doubles(sc, static_cast<std::size_t>(dims));
+
+      const std::size_t ncoef =
+          static_cast<std::size_t>(monomial_count(dims, degree));
+      std::vector<std::vector<double>> coeffs(kStatCount);
+      for (int s = 0; s < kStatCount; ++s) {
+        std::istringstream cs(expect_kv("coef"));
+        std::string name;
+        cs >> name;
+        const Stat stat = stat_from_name(name);
+        coeffs[static_cast<std::size_t>(stat)] = read_doubles(cs, ncoef);
+      }
+      piece.poly = VecPolynomial(dims, degree, std::move(norm),
+                                 std::move(coeffs));
+      pieces.push_back(std::move(piece));
     }
-    piece.poly = VecPolynomial(dims, degree, std::move(norm),
-                               std::move(coeffs));
-    pieces.push_back(std::move(piece));
+
+    m.model = PiecewiseModel(Region(dlo, dhi), std::move(pieces));
+    return m;
+  } catch (const parse_error& e) {
+    // Re-throw with the offending source and line number prepended, so a
+    // damaged file in a repository of hundreds is locatable immediately.
+    throw parse_error(source + ":" + std::to_string(lineno) + ": " +
+                      e.what());
+  } catch (const invalid_argument_error& e) {
+    // Structural rejections (implausible dims, bad regions/polynomials)
+    // are parse errors when the data came from a file.
+    throw parse_error(source + ":" + std::to_string(lineno) + ": " +
+                      e.what());
   }
-
-  m.model = PiecewiseModel(Region(dlo, dhi), std::move(pieces));
-  return m;
 }
 
 void ModelRepository::store(const RoutineModel& model) {
@@ -226,7 +270,17 @@ std::shared_ptr<const RoutineModel> ModelRepository::load_uncached(
   if (!in.good()) return nullptr;
   std::ostringstream buf;
   buf << in.rdbuf();
-  return std::make_shared<const RoutineModel>(deserialize(buf.str()));
+  return std::make_shared<const RoutineModel>(
+      deserialize(buf.str(), path.string()));
+}
+
+std::shared_ptr<const RoutineModel> ModelRepository::load_from_container(
+    const ModelKey& key) const {
+  std::shared_ptr<const storage::ContainerReader> packed = container();
+  if (packed == nullptr) return nullptr;
+  const auto index = packed->find_model(ModelKeyRef::of(key));
+  if (!index.has_value()) return nullptr;
+  return packed->model(*index).load();
 }
 
 std::shared_ptr<const RoutineModel> ModelRepository::find(
@@ -237,8 +291,10 @@ std::shared_ptr<const RoutineModel> ModelRepository::find(
     if (it != cache_.end()) return it->second;
   }
   // Parse outside the lock; a racing find() of the same key at worst
-  // parses twice and both end up with equivalent immutable models.
+  // parses twice and both end up with equivalent immutable models. A
+  // per-key text file shadows the attached container (newer stores win).
   std::shared_ptr<const RoutineModel> fresh = load_uncached(key);
+  if (fresh == nullptr) fresh = load_from_container(key);
   if (fresh == nullptr) return nullptr;
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = cache_.emplace(key, fresh);
@@ -264,18 +320,32 @@ bool ModelRepository::contains(const ModelKey& key) const {
     std::lock_guard<std::mutex> lock(mutex_);
     if (cache_.count(key) > 0) return true;
   }
-  return std::filesystem::exists(dir_ / filename(key));
+  if (std::filesystem::exists(dir_ / filename(key))) return true;
+  const std::shared_ptr<const storage::ContainerReader> packed = container();
+  return packed != nullptr &&
+         packed->find_model(ModelKeyRef::of(key)).has_value();
 }
 
 std::vector<ModelKey> ModelRepository::list() const {
+  // Deterministic listing: collect from both layers, then sort by the
+  // canonical key order and deduplicate (a text file shadowing a packed
+  // model contributes one entry).
   std::vector<ModelKey> keys;
   for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
     if (entry.path().extension() != ".model") continue;
     std::ifstream in(entry.path());
     std::ostringstream buf;
     buf << in.rdbuf();
-    keys.push_back(deserialize(buf.str()).key);
+    keys.push_back(deserialize(buf.str(), entry.path().string()).key);
   }
+  const std::shared_ptr<const storage::ContainerReader> packed = container();
+  if (packed != nullptr) {
+    std::vector<ModelKey> packed_keys = packed->model_keys();
+    keys.insert(keys.end(), std::make_move_iterator(packed_keys.begin()),
+                std::make_move_iterator(packed_keys.end()));
+  }
+  std::sort(keys.begin(), keys.end(), ModelKeyLess{});
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   return keys;
 }
 

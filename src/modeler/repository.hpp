@@ -22,14 +22,32 @@
 
 namespace dlap {
 
+namespace storage {
+class ContainerReader;
+}  // namespace storage
+
 class ModelRepository {
  public:
-  /// Opens (and creates, if needed) the repository directory.
+  /// Opens (and creates, if needed) the repository directory. When the
+  /// directory holds a binary container (storage::kContainerFilename,
+  /// produced by compaction or `dlap_pack pack`), it is attached
+  /// automatically and its models become visible behind the text files.
   explicit ModelRepository(std::filesystem::path dir);
 
   [[nodiscard]] const std::filesystem::path& directory() const {
     return dir_;
   }
+
+  /// Attaches a binary container as a read-only lower layer: lookups
+  /// consult the cache, then per-key text files, then the container, so a
+  /// freshly stored text model always shadows the packed one. Pass
+  /// nullptr to detach.
+  void attach_container(
+      std::shared_ptr<const storage::ContainerReader> reader);
+
+  /// The attached container, if any (shared with the sample store).
+  [[nodiscard]] std::shared_ptr<const storage::ContainerReader> container()
+      const;
 
   /// Writes the model to its key's file (overwriting an existing entry)
   /// and refreshes the in-memory cache.
@@ -51,7 +69,9 @@ class ModelRepository {
 
   [[nodiscard]] bool contains(const ModelKey& key) const;
 
-  /// All keys currently stored on disk.
+  /// All keys currently stored on disk (text files and the attached
+  /// container, deduplicated), sorted by ModelKeyLess, so the listing is
+  /// deterministic regardless of directory iteration order.
   [[nodiscard]] std::vector<ModelKey> list() const;
 
   /// Number of models currently held in the in-memory cache.
@@ -65,17 +85,24 @@ class ModelRepository {
   /// file names, even for path-hostile backend specs or flag strings.
   [[nodiscard]] static std::string filename(const ModelKey& key);
 
-  /// Text (de)serialization, exposed for tests and tooling.
+  /// Text (de)serialization, exposed for tests and tooling. Parse errors
+  /// name the offending source ("`source`:LINE: ...") -- pass the file
+  /// path when deserializing a file so the message points at it.
   [[nodiscard]] static std::string serialize(const RoutineModel& model);
   [[nodiscard]] static RoutineModel deserialize(const std::string& text);
+  [[nodiscard]] static RoutineModel deserialize(const std::string& text,
+                                                const std::string& source);
 
  private:
   [[nodiscard]] std::shared_ptr<const RoutineModel> load_uncached(
+      const ModelKey& key) const;
+  [[nodiscard]] std::shared_ptr<const RoutineModel> load_from_container(
       const ModelKey& key) const;
 
   std::filesystem::path dir_;
   mutable std::mutex mutex_;
   mutable std::map<ModelKey, std::shared_ptr<const RoutineModel>> cache_;
+  std::shared_ptr<const storage::ContainerReader> container_;
 };
 
 }  // namespace dlap

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/str.hpp"
+#include "storage/container.hpp"
 
 namespace dlap {
 
@@ -30,9 +31,20 @@ void write_line(std::ostream& os, const std::vector<index_t>& point,
      << stats.max << ' ' << stats.stddev << ' ' << stats.count << '\n';
 }
 
-// Parses one journal line; false on any malformed/truncated content.
-bool parse_line(const std::string& line, std::vector<index_t>* point,
-                SampleStats* stats) {
+}  // namespace
+
+std::string_view SampleStore::journal_magic() { return kMagic; }
+
+std::string SampleStore::format_journal_line(
+    const std::vector<index_t>& point, const SampleStats& stats) {
+  std::ostringstream os;
+  write_line(os, point, stats);
+  return os.str();
+}
+
+bool SampleStore::parse_journal_line(const std::string& line,
+                                     std::vector<index_t>* point,
+                                     SampleStats* stats) {
   std::istringstream is(line);
   std::string tag;
   std::size_t dims = 0;
@@ -50,14 +62,40 @@ bool parse_line(const std::string& line, std::vector<index_t>* point,
   return true;
 }
 
-}  // namespace
-
 SampleStore::SampleStore(std::filesystem::path dir) : dir_(std::move(dir)) {
   if (!dir_.empty()) std::filesystem::create_directories(dir_);
 }
 
+void SampleStore::attach_container(
+    std::shared_ptr<const storage::ContainerReader> reader) {
+  std::lock_guard<std::mutex> lock(aux_mutex_);
+  container_ = std::move(reader);
+}
+
+std::shared_ptr<const storage::ContainerReader> SampleStore::container()
+    const {
+  std::lock_guard<std::mutex> lock(aux_mutex_);
+  return container_;
+}
+
+std::vector<std::string> SampleStore::journal_damage_notes() const {
+  std::lock_guard<std::mutex> lock(aux_mutex_);
+  return damage_notes_;
+}
+
 std::string SampleStore::journal_filename(std::string_view engine_key) {
   return escape_filename_component(engine_key) + ".samples";
+}
+
+std::string SampleStore::key_from_journal_filename(std::string_view filename) {
+  constexpr std::string_view kExt = ".samples";
+  if (filename.size() <= kExt.size() ||
+      filename.substr(filename.size() - kExt.size()) != kExt) {
+    throw parse_error("not a sample journal file name: " +
+                      std::string(filename));
+  }
+  return unescape_filename_component(
+      filename.substr(0, filename.size() - kExt.size()));
 }
 
 SampleStore::KeyCache& SampleStore::key_cache(std::string_view engine_key) {
@@ -71,69 +109,107 @@ void SampleStore::ensure_replayed(std::string_view engine_key,
                                   KeyCache& cache) {
   if (cache.replayed) return;
   cache.replayed = true;
-  if (dir_.empty()) return;
 
-  // Replay the journal, if any. The file is append-only full lines, so
-  // the expected damage after a crash is a truncated tail: stop at the
-  // first line that does not parse (or lacks its newline) and keep
-  // everything before it. Entries replayed here count as Disk when
-  // probed. A damaged journal is rewritten from the recovered entries
-  // (atomically: temp file + rename) so that future appends land after
-  // a clean final newline instead of fusing with the torn tail.
-  const std::filesystem::path path = dir_ / journal_filename(engine_key);
-  std::string text;
-  {
-    std::ifstream in(path, std::ios::binary);
-    if (!in.good()) return;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    text = buf.str();
+  if (!dir_.empty()) {
+    // Replay the journal, if any. The file is append-only full lines, so
+    // the expected damage after a crash is a truncated tail: stop at the
+    // first line that does not parse (or lacks its newline) and keep
+    // everything before it. Entries replayed here count as Disk when
+    // probed. A damaged journal is rewritten from the recovered entries
+    // (atomically: temp file + rename) so that future appends land after
+    // a clean final newline instead of fusing with the torn tail.
+    const std::filesystem::path path = dir_ / journal_filename(engine_key);
+    std::string text;
+    bool have_file = false;
+    {
+      std::ifstream in(path, std::ios::binary);
+      if (in.good()) {
+        have_file = true;
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+      }
+    }
+
+    if (have_file) {
+      bool damaged = false;
+      std::string damage_what;
+      std::size_t pos = 0;
+      std::size_t lineno = 0;  // 1-based number of the line just read
+      const auto next_line = [&]() -> std::optional<std::string> {
+        if (pos >= text.size()) return std::nullopt;
+        ++lineno;
+        const auto nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+          damaged = true;  // unterminated tail: a crash mid-append
+          damage_what = "unterminated final line";
+          pos = text.size();
+          return std::nullopt;
+        }
+        std::string line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        return line;
+      };
+
+      const std::optional<std::string> magic = next_line();
+      if (!magic.has_value() || *magic != kMagic) {
+        if (!text.empty()) {
+          damaged = true;  // not a journal at all
+          damage_what = "bad magic (not a dlaperf sample journal)";
+        }
+      } else {
+        std::vector<index_t> point;
+        SampleStats stats;
+        while (const std::optional<std::string> line = next_line()) {
+          if (!parse_journal_line(*line, &point, &stats)) {
+            damaged = true;
+            damage_what = "malformed sample line";
+            break;
+          }
+          cache.points.emplace(point, Entry{stats, /*from_disk=*/true});
+        }
+      }
+
+      if (damaged) {
+        {
+          std::lock_guard<std::mutex> lock(aux_mutex_);
+          damage_notes_.push_back(path.string() + ":" +
+                                  std::to_string(lineno) + ": " +
+                                  damage_what + "; kept " +
+                                  std::to_string(cache.points.size()) +
+                                  " entries, discarded the rest");
+        }
+        const std::filesystem::path tmp =
+            path.string() + ".tmp" +
+            std::to_string(
+                std::hash<std::thread::id>{}(std::this_thread::get_id()));
+        std::ofstream out(tmp, std::ios::binary);
+        if (out.good()) {
+          out << kMagic << '\n';
+          for (const auto& [p, entry] : cache.points) {
+            write_line(out, p, entry.stats);
+          }
+          out.close();
+          std::error_code ec;
+          std::filesystem::rename(tmp, path, ec);  // best effort: cache wins
+        }
+      }
+    }
   }
 
-  bool damaged = false;
-  std::size_t pos = 0;
-  const auto next_line = [&]() -> std::optional<std::string> {
-    if (pos >= text.size()) return std::nullopt;
-    const auto nl = text.find('\n', pos);
-    if (nl == std::string::npos) {
-      damaged = true;  // unterminated tail: a crash mid-append
-      pos = text.size();
-      return std::nullopt;
-    }
-    std::string line = text.substr(pos, nl - pos);
-    pos = nl + 1;
-    return line;
-  };
-
-  const std::optional<std::string> magic = next_line();
-  if (!magic.has_value() || *magic != kMagic) {
-    if (!text.empty()) damaged = true;  // not a journal at all
-  } else {
-    std::vector<index_t> point;
-    SampleStats stats;
-    while (const std::optional<std::string> line = next_line()) {
-      if (!parse_line(*line, &point, &stats)) {
-        damaged = true;
-        break;
-      }
-      cache.points.emplace(point, Entry{stats, /*from_disk=*/true});
-    }
-  }
-
-  if (damaged) {
-    const std::filesystem::path tmp =
-        path.string() + ".tmp" +
-        std::to_string(
-            std::hash<std::thread::id>{}(std::this_thread::get_id()));
-    std::ofstream out(tmp, std::ios::binary);
-    if (out.good()) {
-      out << kMagic << '\n';
-      for (const auto& [p, entry] : cache.points) {
-        write_line(out, p, entry.stats);
-      }
-      out.close();
-      std::error_code ec;
-      std::filesystem::rename(tmp, path, ec);  // best effort: cache wins
+  // Container section, replayed below the journal (emplace keeps the
+  // journal's entry on overlap: journal lines are newer than the packed
+  // snapshot). Done after the damaged-journal rewrite above so recovery
+  // never folds packed entries into the text journal.
+  const std::shared_ptr<const storage::ContainerReader> packed = container();
+  if (packed != nullptr) {
+    const auto section = packed->find_samples(engine_key);
+    if (section.has_value()) {
+      packed->for_each_sample(
+          *section,
+          [&](const std::vector<index_t>& point, const SampleStats& stats) {
+            cache.points.emplace(point, Entry{stats, /*from_disk=*/true});
+          });
     }
   }
 }

@@ -38,9 +38,14 @@
 #include <string_view>
 #include <vector>
 
+#include "common/types.hpp"
 #include "sampler/stats.hpp"
 
 namespace dlap {
+
+namespace storage {
+class ContainerReader;
+}  // namespace storage
 
 class SampleStore {
  public:
@@ -56,6 +61,18 @@ class SampleStore {
   /// Memory-only store (dir empty), or a persistent sample repository
   /// rooted at `dir` (created if absent).
   explicit SampleStore(std::filesystem::path dir = {});
+
+  /// Attaches a binary container as a read-only lower layer: a key's
+  /// first access replays its journal AND its container section (journal
+  /// entries win on overlap -- they are newer). Container entries count
+  /// as Origin::Disk. Pass nullptr to detach. Typically the same reader
+  /// the model repository attached (one mmap serves both).
+  void attach_container(
+      std::shared_ptr<const storage::ContainerReader> reader);
+
+  /// The attached container, if any.
+  [[nodiscard]] std::shared_ptr<const storage::ContainerReader> container()
+      const;
 
   /// Returns the cached statistics for (engine_key, point), measuring and
   /// inserting them on a miss. engine_key identifies the measurement
@@ -104,6 +121,30 @@ class SampleStore {
   [[nodiscard]] static std::string journal_filename(
       std::string_view engine_key);
 
+  /// The engine key a journal file name maps back to (the filename
+  /// escaping is injective). Throws dlap::parse_error when `filename` is
+  /// not a well-formed journal name.
+  [[nodiscard]] static std::string key_from_journal_filename(
+      std::string_view filename);
+
+  // Journal text format, exposed so tooling (dlap_pack) can convert
+  // journals to and from container sample sections byte-identically.
+  /// First line of every journal.
+  [[nodiscard]] static std::string_view journal_magic();
+  /// One journal line (including trailing newline), 17 significant
+  /// digits so every double round-trips exactly.
+  [[nodiscard]] static std::string format_journal_line(
+      const std::vector<index_t>& point, const SampleStats& stats);
+  /// Parses one journal line; false on malformed/truncated content.
+  [[nodiscard]] static bool parse_journal_line(const std::string& line,
+                                               std::vector<index_t>* point,
+                                               SampleStats* stats);
+
+  /// One note per journal whose replay hit damaged content, of the form
+  /// "<path>:<line>: <what>" (the damaged tail is discarded and the file
+  /// rewritten from the recovered entries). Diagnostic, monotonic.
+  [[nodiscard]] std::vector<std::string> journal_damage_notes() const;
+
  private:
   struct Entry {
     SampleStats stats;
@@ -139,6 +180,12 @@ class SampleStore {
   std::filesystem::path dir_;
   mutable std::mutex table_mutex_;  ///< guards keys_ lookup/creation only
   std::map<std::string, KeyCache, std::less<>> keys_;
+  // aux_mutex_ guards container_ and damage_notes_. It is taken only as
+  // the innermost lock (never while acquiring cache.m or table_mutex_),
+  // so it cannot participate in an ordering cycle.
+  mutable std::mutex aux_mutex_;
+  std::shared_ptr<const storage::ContainerReader> container_;
+  std::vector<std::string> damage_notes_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> disk_hits_{0};
   std::atomic<std::uint64_t> misses_{0};

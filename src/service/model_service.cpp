@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "blas/registry.hpp"
+#include "storage/container.hpp"
 
 namespace dlap {
 
@@ -24,7 +25,19 @@ ModelService::ModelService(ServiceConfig config)
       // the scheduler's constructor only stores the address and must
       // never be changed to dereference it.
       scheduler_(pool_, samples_),
-      pool_(config_.workers) {}
+      pool_(config_.workers) {
+  // Attach the binary container (explicit path, or the repository's
+  // auto-detected repository.dlapc) to BOTH stores: one mmap serves
+  // models and replayable measurements alike.
+  if (!config_.container_path.empty()) {
+    const std::shared_ptr<const storage::ContainerReader> reader =
+        storage::ContainerReader::open(config_.container_path);
+    repo_.attach_container(reader);
+    samples_.attach_container(reader);
+  } else {
+    samples_.attach_container(repo_.container());
+  }
+}
 
 ModelKey ModelService::key_for(const ModelJob& job) {
   // Registry specs and backend names coincide for every built-in backend
@@ -63,8 +76,10 @@ void ModelService::record_stats(const ModelKey& key, GenerationStats stats) {
   stats_[key] = std::move(stats);
 }
 
-void ModelService::record_reuse(const ModelKey& key) {
-  record_stats(key, GenerationStats{});  // generated = false, all zeros
+void ModelService::record_reuse(const ModelKey& key, ModelSource source) {
+  GenerationStats stats;  // generated = false, all zeros
+  stats.source = source;
+  record_stats(key, std::move(stats));
 }
 
 std::optional<GenerationStats> ModelService::generation_stats(
@@ -167,7 +182,7 @@ std::vector<std::shared_ptr<const RoutineModel>> ModelService::generate_all(
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const ModelKey key = key_for(jobs[i]);
     if (std::shared_ptr<const RoutineModel> have = reusable(jobs[i], key)) {
-      record_reuse(key);
+      record_reuse(key, have->source);
       ModelPromise ready;
       ready.set_value(std::move(have));
       futures[i] = ready.get_future().share();
@@ -251,7 +266,7 @@ std::shared_ptr<const RoutineModel> ModelService::get_or_generate_impl(
   const ModelKey key = key_for(job);
   for (;;) {
     if (std::shared_ptr<const RoutineModel> have = reusable(job, key)) {
-      record_reuse(key);
+      record_reuse(key, have->source);
       return have;
     }
 

@@ -57,6 +57,9 @@ struct GenerationStats {
   /// True when the model was (re)generated; false when an existing
   /// repository model was served.
   bool generated = false;
+  /// Where the served model came from: Generated for a fresh build,
+  /// TextFile / Container for a reused repository model.
+  ModelSource source = ModelSource::Generated;
   /// Distinct points the strategy consumed (the paper's per-run sample
   /// accounting, independent of where the points came from).
   index_t unique_samples = 0;
@@ -79,6 +82,12 @@ struct ServiceConfig {
   bool persist_samples = true;
   /// Sample repository directory; empty means "<repository_dir>/samples".
   std::filesystem::path sample_dir;
+  /// Binary model+sample container (.dlapc) to attach beneath the
+  /// repository and the sample store: models and measurements load from
+  /// it (zero-copy via mmap) unless a newer text file shadows them.
+  /// Empty auto-detects "<repository_dir>/repository.dlapc" (the file
+  /// compaction and `dlap_pack pack` produce).
+  std::filesystem::path container_path;
   /// Generation workers; 0 means std::thread::hardware_concurrency().
   index_t workers = 0;
   /// Strategy for every generated model (the paper selects Adaptive
@@ -190,8 +199,9 @@ class ModelService {
   /// Stamps and stores a stats record for `key`.
   void record_stats(const ModelKey& key, GenerationStats stats);
 
-  /// Records that an existing repository model satisfied `key`.
-  void record_reuse(const ModelKey& key);
+  /// Records that an existing repository model (of provenance `source`)
+  /// satisfied `key`.
+  void record_reuse(const ModelKey& key, ModelSource source);
 
   [[nodiscard]] static std::filesystem::path sample_dir_for(
       const ServiceConfig& config);

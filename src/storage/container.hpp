@@ -1,0 +1,239 @@
+#pragma once
+// The .dlapc binary container: one file holding an entire repository --
+// every RoutineModel and, in a second section, the compacted sample
+// journals -- laid out so that a single mmap makes it servable with O(1)
+// parse work per open (ROADMAP item "Binary model + sample format with
+// mmap zero-copy load"; the format follows the ggml single-file
+// magic+version pattern).
+//
+// Layout (all integers and doubles fixed-width, writer-native byte order,
+// every section and record 8-byte aligned):
+//
+//   header (80 B)    magic "dlapcbin", endianness tag, format version,
+//                    total file size, section table (offset + count of
+//                    the model index, sample index, string table)
+//   model payloads   per model: piece count, domain bounds, then per
+//                    piece: bounds, fit stats, degree, normalization,
+//                    and the coefficient table (kStatCount x ncoef
+//                    doubles, row-major) -- the zero-copy target
+//   sample payloads  per engine key: fixed-width measurement records in
+//                    journal order (point coords + SampleStats)
+//   model index      fixed-width entries (string refs for the key
+//                    components, locality, dims, payload offset/size),
+//                    sorted by ModelKeyLess
+//   sample index     fixed-width entries (key string ref, dims, payload
+//                    offset, record count), sorted by key string
+//   string table     all key/strategy strings, referenced as (offset,
+//                    length) pairs
+//
+// Reading: ContainerReader validates the header and every index entry
+// against the actual file size up front (a truncated or corrupt file
+// yields container_error, never UB -- all access is bounds-checked
+// through storage::Cursor), then serves ModelViews whose coefficient
+// tables alias the mapping directly. A foreign-endian or misaligned file
+// degrades gracefully to a privately converted copy; the loaded models
+// are value-identical either way.
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "modeler/modeler.hpp"
+#include "storage/cursor.hpp"
+#include "storage/mmap_file.hpp"
+
+namespace dlap::storage {
+
+inline constexpr char kContainerMagic[8] = {'d', 'l', 'a', 'p',
+                                            'c', 'b', 'i', 'n'};
+inline constexpr std::uint32_t kContainerVersion = 1;
+inline constexpr std::uint32_t kEndianTag = 0x01020304;
+/// Default container file name inside a repository directory; a file
+/// with this name is attached automatically when the repository opens.
+inline constexpr const char* kContainerFilename = "repository.dlapc";
+
+/// One measurement record of a sample section (journal order preserved).
+struct SamplePoint {
+  std::vector<index_t> point;
+  SampleStats stats;
+};
+
+struct ContainerWriteOptions {
+  /// Writes every multi-byte field byte-swapped, with the matching
+  /// endianness tag: produces a valid foreign-endian container. Test
+  /// hook for the reader's converted-copy fallback path.
+  bool byte_swap = false;
+};
+
+/// Assembles a container in memory and writes it atomically. Models are
+/// indexed sorted by ModelKeyLess and sample sections sorted by engine
+/// key, so packing the same inputs always produces the same bytes.
+class ContainerWriter {
+ public:
+  explicit ContainerWriter(ContainerWriteOptions options = {})
+      : options_(options) {}
+
+  /// Adds a model (last add of a key wins).
+  void add_model(const RoutineModel& model);
+
+  /// Adds an engine key's measurement records, preserving their order
+  /// (last add of a key wins). All records must share one dimensionality.
+  void add_samples(const std::string& engine_key,
+                   std::vector<SamplePoint> entries);
+
+  [[nodiscard]] std::size_t model_count() const noexcept {
+    return models_.size();
+  }
+  [[nodiscard]] std::size_t sample_key_count() const noexcept {
+    return samples_.size();
+  }
+
+  /// The complete container image.
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+
+  /// Writes the image to `path` atomically (writer-unique temp file +
+  /// rename), so a concurrently opening reader never sees a partial
+  /// container. Throws container_error on I/O failure.
+  void write(const std::filesystem::path& path) const;
+
+ private:
+  ContainerWriteOptions options_;
+  std::map<ModelKey, RoutineModel> models_;
+  std::map<std::string, std::vector<SamplePoint>> samples_;
+};
+
+class ContainerReader;
+
+/// Non-owning view of one model record inside an open container. Cheap
+/// to copy; valid while the reader lives (the models it loads stay valid
+/// independently -- they pin the file mapping).
+class ModelView {
+ public:
+  [[nodiscard]] const ModelKey& key() const;
+  [[nodiscard]] index_t unique_samples() const;
+  [[nodiscard]] double average_error() const;
+  [[nodiscard]] std::string_view strategy() const;
+
+  /// True when load() will alias the mapping (native byte order and
+  /// 8-byte-aligned tables) instead of materializing a private copy.
+  [[nodiscard]] bool zero_copy() const;
+
+  /// Materializes the RoutineModel. Coefficient tables are borrowed
+  /// straight from the mapped file when zero_copy() holds (no per-load
+  /// allocation or parsing beyond the piece headers) and deep-copied
+  /// otherwise; the returned pointer pins the mapping either way, so
+  /// the model outlives the reader safely. Throws container_error on a
+  /// corrupt record.
+  [[nodiscard]] std::shared_ptr<const RoutineModel> load() const;
+
+ private:
+  friend class ContainerReader;
+  ModelView(const ContainerReader* reader, std::size_t index)
+      : reader_(reader), index_(index) {}
+
+  const ContainerReader* reader_;
+  std::size_t index_;
+};
+
+/// An open container: header validated, indexes decoded, payload access
+/// bounds-checked. Immutable after open, so one reader may be shared
+/// freely across threads (the model repository and the sample store
+/// attach the same instance).
+class ContainerReader {
+ public:
+  /// Opens (mmap, falling back to a buffered read) and validates.
+  /// Throws container_error on any malformed input.
+  [[nodiscard]] static std::shared_ptr<const ContainerReader> open(
+      const std::filesystem::path& path);
+
+  /// Validates an already-materialized image (tests, tools).
+  [[nodiscard]] static std::shared_ptr<const ContainerReader> from_file(
+      std::shared_ptr<const MappedFile> file);
+
+  ContainerReader(const ContainerReader&) = delete;
+  ContainerReader& operator=(const ContainerReader&) = delete;
+
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+  /// False when the file was written on a foreign-endian machine (loads
+  /// then go through the converted-copy path).
+  [[nodiscard]] bool native_endian() const noexcept { return !swap_; }
+  [[nodiscard]] bool mapped() const noexcept { return file_->is_mapped(); }
+  [[nodiscard]] std::size_t file_size() const noexcept {
+    return file_->size();
+  }
+
+  // ------------------------------------------------------------- models
+  [[nodiscard]] std::size_t model_count() const noexcept {
+    return models_.size();
+  }
+  [[nodiscard]] ModelView model(std::size_t i) const;
+  /// Index lookup by key (the index is decoded at open; lookups are one
+  /// map probe, no file access).
+  [[nodiscard]] std::optional<std::size_t> find_model(
+      const ModelKeyRef& key) const;
+  /// All model keys, in index (ModelKeyLess) order.
+  [[nodiscard]] std::vector<ModelKey> model_keys() const;
+
+  // ------------------------------------------------------------ samples
+  [[nodiscard]] std::size_t sample_key_count() const noexcept {
+    return samples_.size();
+  }
+  [[nodiscard]] std::string_view sample_key(std::size_t i) const;
+  [[nodiscard]] std::optional<std::size_t> find_samples(
+      std::string_view engine_key) const;
+  [[nodiscard]] std::size_t sample_entry_count(std::size_t i) const;
+  /// Streams section `i`'s records in stored (journal) order.
+  void for_each_sample(
+      std::size_t i,
+      const std::function<void(const std::vector<index_t>&,
+                               const SampleStats&)>& fn) const;
+  /// Total measurement records across all sections (diagnostics).
+  [[nodiscard]] std::size_t total_sample_entries() const;
+
+ private:
+  friend class ModelView;
+
+  struct ModelEntry {
+    ModelKey key;
+    std::string strategy;
+    int dims = 0;
+    std::uint64_t payload_offset = 0;
+    std::uint64_t payload_size = 0;
+    index_t unique_samples = 0;
+    double average_error = 0.0;
+  };
+  struct SampleSection {
+    std::string key;
+    int dims = 0;
+    std::uint64_t payload_offset = 0;
+    std::uint64_t entry_count = 0;
+  };
+
+  ContainerReader() = default;
+
+  void parse(std::shared_ptr<const MappedFile> file);
+  [[nodiscard]] std::string_view str(std::uint32_t off,
+                                     std::uint32_t len) const;
+  [[nodiscard]] std::shared_ptr<const RoutineModel> load_entry(
+      const ModelEntry& entry) const;
+  [[nodiscard]] bool entry_zero_copy(const ModelEntry& entry) const;
+
+  std::shared_ptr<const MappedFile> file_;
+  bool swap_ = false;
+  std::uint32_t version_ = 0;
+  const char* strings_ = nullptr;
+  std::size_t strings_size_ = 0;
+  std::vector<ModelEntry> models_;
+  std::map<ModelKey, std::size_t, ModelKeyLess> model_index_;
+  std::vector<SampleSection> samples_;
+  std::map<std::string, std::size_t, std::less<>> sample_index_;
+};
+
+}  // namespace dlap::storage

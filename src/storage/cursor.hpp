@@ -1,0 +1,107 @@
+#pragma once
+// Bounds-checked reading primitives for the binary model container.
+//
+// Every access to a mapped (or buffered) container file goes through a
+// Cursor: reads are memcpy-based (no alignment assumptions, no strict-
+// aliasing UB on hostile files) and range-checked against the region the
+// cursor was created over, so a truncated or corrupt file yields a typed
+// container_error instead of undefined behavior. The cursor also owns
+// byte-order conversion: created with swap=true (a foreign-endian file),
+// every multi-byte read is byte-reversed, which is what lets the reader
+// fall back to a private converted copy instead of rejecting such files.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dlap {
+
+/// Malformed, truncated, or otherwise unreadable binary container.
+/// Derives from parse_error so callers that already tolerate corrupt
+/// text model files (ModelService::find) handle corrupt containers the
+/// same way, while tests can still match the container type exactly.
+class container_error : public parse_error {
+ public:
+  using parse_error::parse_error;
+};
+
+namespace storage {
+
+[[nodiscard]] constexpr std::uint64_t byteswap64(std::uint64_t v) noexcept {
+  v = ((v & 0x00ff00ff00ff00ffULL) << 8) | ((v >> 8) & 0x00ff00ff00ff00ffULL);
+  v = ((v & 0x0000ffff0000ffffULL) << 16) |
+      ((v >> 16) & 0x0000ffff0000ffffULL);
+  return (v << 32) | (v >> 32);
+}
+
+[[nodiscard]] constexpr std::uint32_t byteswap32(std::uint32_t v) noexcept {
+  v = ((v & 0x00ff00ffU) << 8) | ((v >> 8) & 0x00ff00ffU);
+  return (v << 16) | (v >> 16);
+}
+
+/// Sequential bounds-checked reader over one byte region.
+class Cursor {
+ public:
+  Cursor(const std::byte* base, std::size_t size, bool swap,
+         std::string what = "container")
+      : base_(base), size_(size), swap_(swap), what_(std::move(what)) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return size_ - pos_;
+  }
+
+  void seek(std::uint64_t off) {
+    if (off > size_) {
+      throw container_error(what_ + ": offset " + std::to_string(off) +
+                            " past end of region (" + std::to_string(size_) +
+                            " bytes)");
+    }
+    pos_ = static_cast<std::size_t>(off);
+  }
+
+  /// Checks that `n` more bytes exist and returns a pointer to them,
+  /// advancing the cursor.
+  [[nodiscard]] const std::byte* bytes(std::size_t n) {
+    if (n > size_ - pos_) {
+      throw container_error(what_ + ": truncated (need " + std::to_string(n) +
+                            " bytes at offset " + std::to_string(pos_) +
+                            ", region holds " + std::to_string(size_) + ")");
+    }
+    const std::byte* p = base_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    std::uint32_t v;
+    std::memcpy(&v, bytes(sizeof v), sizeof v);
+    return swap_ ? byteswap32(v) : v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    std::uint64_t v;
+    std::memcpy(&v, bytes(sizeof v), sizeof v);
+    return swap_ ? byteswap64(v) : v;
+  }
+
+  [[nodiscard]] std::int64_t i64() {
+    return static_cast<std::int64_t>(u64());
+  }
+
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+
+ private:
+  const std::byte* base_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool swap_;
+  std::string what_;
+};
+
+}  // namespace storage
+}  // namespace dlap

@@ -1,0 +1,94 @@
+#include "storage/mmap_file.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "storage/cursor.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DLAP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace dlap::storage {
+
+namespace {
+
+std::vector<std::byte> read_whole_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw container_error("cannot open container: " + path.string());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw container_error("cannot read container: " + path.string());
+  }
+  const std::string s = buf.str();
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return std::vector<std::byte>(p, p + s.size());
+}
+
+}  // namespace
+
+std::shared_ptr<const MappedFile> MappedFile::open(
+    const std::filesystem::path& path) {
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+#if DLAP_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      const auto size = static_cast<std::size_t>(st.st_size);
+      if (size == 0) {
+        // mmap of length 0 is invalid; an empty file is a valid (if
+        // always-rejected-later) input, represented by an empty buffer.
+        ::close(fd);
+        file->data_ = file->buffer_.data();
+        return file;
+      }
+      void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (base != MAP_FAILED) {
+        file->data_ = static_cast<const std::byte*>(base);
+        file->size_ = size;
+        file->mapped_ = true;
+        file->map_base_ = base;
+        file->map_length_ = size;
+        return file;
+      }
+    } else {
+      ::close(fd);
+    }
+  }
+  // Fall through to the buffered read: the path may still be readable
+  // through the stream API (or produce a proper error message).
+#endif
+  file->buffer_ = read_whole_file(path);
+  file->data_ = file->buffer_.data();
+  file->size_ = file->buffer_.size();
+  return file;
+}
+
+std::shared_ptr<const MappedFile> MappedFile::from_buffer(
+    std::vector<std::byte> bytes, std::size_t offset) {
+  if (offset > bytes.size()) {
+    throw container_error("buffer offset past end of buffer");
+  }
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+  file->buffer_ = std::move(bytes);
+  file->data_ = file->buffer_.data() + offset;
+  file->size_ = file->buffer_.size() - offset;
+  return file;
+}
+
+MappedFile::~MappedFile() {
+#if DLAP_HAVE_MMAP
+  if (map_base_ != nullptr) ::munmap(map_base_, map_length_);
+#endif
+}
+
+}  // namespace dlap::storage

@@ -1,0 +1,52 @@
+#pragma once
+// Read-only memory mapping of a whole file, with a plain read() fallback.
+//
+// The container reader serves model coefficient tables straight out of
+// this mapping (zero-copy load), so the mapping must stay alive as long
+// as any loaded model does -- MappedFile is therefore only handed out as
+// a shared_ptr, which the storage layer pins inside every shared model it
+// returns. On platforms without mmap (or when mapping fails, e.g. on a
+// pseudo-filesystem) the file is read into an owned buffer instead; the
+// reader does not care which it got.
+
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+namespace dlap::storage {
+
+class MappedFile {
+ public:
+  /// Maps (or, failing that, reads) the file read-only. Throws
+  /// dlap::container_error when the file cannot be opened or read.
+  [[nodiscard]] static std::shared_ptr<const MappedFile> open(
+      const std::filesystem::path& path);
+
+  /// Wraps an in-memory image (tests, tools). `offset` bytes of `bytes`
+  /// are skipped, which lets tests present a deliberately misaligned
+  /// view of a container image.
+  [[nodiscard]] static std::shared_ptr<const MappedFile> from_buffer(
+      std::vector<std::byte> bytes, std::size_t offset = 0);
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// True when the bytes come from an actual mmap (false: owned buffer).
+  [[nodiscard]] bool is_mapped() const noexcept { return mapped_; }
+
+ private:
+  MappedFile() = default;
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  void* map_base_ = nullptr;       // munmap handle (mapped case)
+  std::size_t map_length_ = 0;
+  std::vector<std::byte> buffer_;  // fallback / from_buffer storage
+};
+
+}  // namespace dlap::storage

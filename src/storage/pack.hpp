@@ -1,0 +1,61 @@
+#pragma once
+// Conversions between the text repository layout (one .model / .samples
+// file per key) and the .dlapc binary container, plus the compaction
+// lifecycle: fold every text file into the repository's container and
+// delete the folded files, so a long-lived repository converges to one
+// mmap-servable file regardless of how many generations produced it.
+//
+// pack -> unpack round-trips byte-identically: both text formats print
+// doubles at 17 significant digits (exact double round-trip), the
+// container preserves journal record order, and unpacking re-serializes
+// through the same formatting helpers the engine writes with.
+
+#include <cstddef>
+#include <filesystem>
+#include <ostream>
+
+#include "storage/container.hpp"
+
+namespace dlap::storage {
+
+/// What a pack/unpack/compact touched (diagnostics, CLI reporting).
+struct PackStats {
+  std::size_t models = 0;          ///< model records converted
+  std::size_t sample_keys = 0;     ///< sample sections converted
+  std::size_t sample_entries = 0;  ///< measurement records converted
+  std::size_t bytes = 0;           ///< container image size
+};
+
+/// Packs every text model and sample journal under `repo_dir` (and its
+/// "samples/" subdirectory, the engine's default journal location) into
+/// a container at `out_file` (atomically). Throws parse_error (with the
+/// offending file path and line) on damaged inputs -- nothing is written
+/// then. The repository's own container file, if present, is NOT folded
+/// in; use compact_repository for that.
+PackStats pack_repository(const std::filesystem::path& repo_dir,
+                          const std::filesystem::path& out_file,
+                          ContainerWriteOptions options = {});
+
+/// Unpacks a container into text files under `out_dir` (created if
+/// needed): one .model file per model, one .samples journal per sample
+/// section (under "out_dir/samples/", the engine's default layout),
+/// named exactly as the engine names them.
+PackStats unpack_container(const std::filesystem::path& container_file,
+                           const std::filesystem::path& out_dir);
+
+/// Folds `repo_dir`'s text models and journals INTO its container
+/// (repository.dlapc, merged with the existing one if present -- text
+/// entries win, and journal records are merged over the packed section
+/// with journal stats winning on overlapping points), writes it
+/// atomically, then deletes the folded text files. Returns what the new
+/// container holds. A repository that is all container afterwards opens
+/// with O(1) parse work.
+PackStats compact_repository(const std::filesystem::path& repo_dir,
+                             ContainerWriteOptions options = {});
+
+/// Human-readable summary of a container (header fields, per-model and
+/// per-section listings) to `os`.
+void inspect_container(const std::filesystem::path& container_file,
+                       std::ostream& os);
+
+}  // namespace dlap::storage

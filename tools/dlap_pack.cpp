@@ -1,0 +1,60 @@
+// dlap_pack -- CLI for the .dlapc binary model+sample container.
+//
+//   dlap_pack pack <repo_dir> <out.dlapc>   text repository -> container
+//   dlap_pack unpack <in.dlapc> <out_dir>   container -> text repository
+//   dlap_pack compact <repo_dir>            fold text files into
+//                                           <repo_dir>/repository.dlapc
+//                                           and delete them
+//   dlap_pack inspect <in.dlapc>            print a summary
+//
+// pack/unpack round-trip byte-identically, so a packed repository can
+// always be exploded back into per-key text files for inspection or
+// hand-editing and re-packed without loss.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "storage/pack.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  dlap_pack pack <repo_dir> <out.dlapc>\n"
+            << "  dlap_pack unpack <in.dlapc> <out_dir>\n"
+            << "  dlap_pack compact <repo_dir>\n"
+            << "  dlap_pack inspect <in.dlapc>\n";
+  return 2;
+}
+
+void report(const char* verb, const dlap::storage::PackStats& stats) {
+  std::cout << verb << " " << stats.models << " models, "
+            << stats.sample_keys << " sample sections ("
+            << stats.sample_entries << " measurements), container size "
+            << stats.bytes << " bytes\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "pack" && argc == 4) {
+      report("packed", dlap::storage::pack_repository(argv[2], argv[3]));
+    } else if (cmd == "unpack" && argc == 4) {
+      report("unpacked", dlap::storage::unpack_container(argv[2], argv[3]));
+    } else if (cmd == "compact" && argc == 3) {
+      report("compacted", dlap::storage::compact_repository(argv[2]));
+    } else if (cmd == "inspect" && argc == 3) {
+      dlap::storage::inspect_container(argv[2], std::cout);
+    } else {
+      return usage();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "dlap_pack: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
