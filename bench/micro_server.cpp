@@ -1,0 +1,372 @@
+// micro_server -- loopback dlapd throughput, hot reload and overload.
+//
+// Drives a real dlapd::Server over 127.0.0.1 with an engine whose
+// measurements come from a deterministic synthetic cost surface, so every
+// prediction body is exactly reproducible byte for byte. Three phases:
+//   1. steady state: concurrent keep-alive clients over a fixed query
+//      mix; reports sustained QPS and per-request p50/p99 latency,
+//   2. hot reload: the same traffic while /v1/admin/reload re-attaches
+//      the container and drops the model cache repeatedly -- models
+//      regenerate underneath the queries,
+//   3. overload: a second server with a deliberately tiny worker pool and
+//      queue is offered 2x its admission capacity of slow requests.
+//
+// Gates (nonzero exit on failure):
+//   - every steady-state and reload-phase response is bit-identical to
+//     the direct Engine render (zero torn or malformed responses while
+//     models regenerate),
+//   - at least one hot reload completes during fire,
+//   - under 2x overload every connection is answered (no hangs): served
+//     requests get 200, sheds get a well-formed 503 with Retry-After,
+//     and both outcomes occur,
+//   - BENCH_server.json is written with qps, p50/p99 and the shed rate.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "sampler/stats.hpp"
+#include "server/client.hpp"
+#include "server/handlers.hpp"
+#include "server/server.hpp"
+#include "support/bench_util.hpp"
+
+namespace {
+
+using namespace dlap;
+using namespace dlap::server;
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------- deterministic engine
+
+/// Synthetic smooth cost surface (the test_server/test_api pattern):
+/// modeling "measurements" are a pure function of the sample point and the
+/// model key, so regenerated models -- and therefore rendered prediction
+/// bodies -- are identical across reloads.
+MeasureFn synthetic_measure(double offset) {
+  return [offset](const std::vector<index_t>& point) {
+    double cost = 100.0 + offset;
+    for (index_t x : point) {
+      const double v = static_cast<double>(x);
+      cost += 2.0 * v + 0.05 * v * v;
+    }
+    SampleStats s;
+    s.min = cost * 0.9;
+    s.median = cost;
+    s.mean = cost * 1.02;
+    s.max = cost * 1.2;
+    s.stddev = cost * 0.03;
+    s.count = 5;
+    return s;
+  };
+}
+
+EngineConfig engine_config(const fs::path& repo) {
+  EngineConfig cfg;
+  cfg.service.repository_dir = repo;
+  cfg.service.workers = 2;
+  cfg.service.measure_factory = [](const ModelJob& job) {
+    double h = 0.0;
+    for (char c : ModelService::key_for(job).to_string()) {
+      h = 0.9 * h + static_cast<double>(c);
+    }
+    return synthetic_measure(h);
+  };
+  return cfg;
+}
+
+// ------------------------------------------------------------- query mix
+
+struct Probe {
+  std::string body;      ///< POST /v1/predict request body
+  std::string expected;  ///< bit-exact response body (direct Engine render)
+};
+
+/// The steady-state mix: every built-in family, a few variants and sizes.
+std::vector<Probe> build_probes(Engine& engine) {
+  std::vector<PredictQuery> queries;
+  std::vector<std::string> bodies;
+  const auto add = [&](OperationSpec spec, std::string body) {
+    queries.push_back(PredictQuery::of(std::move(spec)));
+    bodies.push_back(std::move(body));
+  };
+  for (int variant = 1; variant <= 3; ++variant) {
+    for (index_t n : {96, 160}) {
+      add(OperationSpec::chol(variant, n, 32),
+          "{\"op\":\"chol\",\"variant\":" + std::to_string(variant) +
+              ",\"n\":" + std::to_string(n) + ",\"blocksize\":32}");
+    }
+  }
+  for (int variant : {1, 4}) {
+    add(OperationSpec::trinv(variant, 128, 32),
+        "{\"op\":\"trinv\",\"variant\":" + std::to_string(variant) +
+            ",\"n\":128,\"blocksize\":32}");
+  }
+  for (int variant : {1, 7}) {
+    add(OperationSpec::sylv(variant, 96, 128, 32),
+        "{\"op\":\"sylv\",\"variant\":" + std::to_string(variant) +
+            ",\"m\":96,\"n\":128,\"blocksize\":32}");
+  }
+
+  // First pass generates every model; the baseline is the SECOND, warm
+  // call. The generation-triggering call can differ from all later
+  // (compiled-trace) evaluations in the last ulp -- the steady-state
+  // render is the value the daemon must reproduce forever after.
+  for (PredictQuery& query : queries) {
+    (void)bench::require_ok(engine.predict(query));
+  }
+  std::vector<Probe> probes;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Prediction direct = bench::require_ok(engine.predict(queries[i]));
+    probes.push_back({bodies[i], render_prediction(direct).dump()});
+  }
+  return probes;
+}
+
+// ------------------------------------------------------------ client fire
+
+struct FireResult {
+  std::uint64_t requests = 0;
+  std::uint64_t mismatches = 0;  ///< non-200 or body != expected
+  std::vector<double> latencies_us;
+};
+
+/// `count` sequential keep-alive requests round-robining the probe mix,
+/// checking every response byte against the direct-engine render.
+FireResult fire(int port, const std::vector<Probe>& probes, int count,
+                std::size_t phase_offset) {
+  FireResult result;
+  HttpClient client("127.0.0.1", port);
+  result.latencies_us.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const Probe& probe =
+        probes[(phase_offset + static_cast<std::size_t>(i)) % probes.size()];
+    const auto start = Clock::now();
+    const auto response =
+        client.request("POST", "/v1/predict", probe.body);
+    const auto elapsed = Clock::now() - start;
+    ++result.requests;
+    result.latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+    if (!response.has_value() || response->status != 200 ||
+        response->body != probe.expected) {
+      ++result.mismatches;
+    }
+  }
+  return result;
+}
+
+/// Runs `threads` concurrent fire() loops and merges the results.
+FireResult fire_concurrent(int port, const std::vector<Probe>& probes,
+                           int threads, int requests_per_thread) {
+  std::vector<FireResult> per_thread(static_cast<std::size_t>(threads));
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      per_thread[static_cast<std::size_t>(t)] =
+          fire(port, probes, requests_per_thread,
+               static_cast<std::size_t>(t) * 3);
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  FireResult merged;
+  for (FireResult& r : per_thread) {
+    merged.requests += r.requests;
+    merged.mismatches += r.mismatches;
+    merged.latencies_us.insert(merged.latencies_us.end(),
+                               r.latencies_us.begin(), r.latencies_us.end());
+  }
+  return merged;
+}
+
+bool eventually(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 10000; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  const fs::path repo =
+      fs::temp_directory_path() / "dlaperf_micro_server_repo";
+  fs::remove_all(repo);
+
+  bool pass = true;
+  bench::BenchJson out;
+
+  {
+    Engine engine(engine_config(repo));
+    const std::vector<Probe> probes = build_probes(engine);
+    std::printf("# %zu probe bodies precomputed (direct Engine renders)\n",
+                probes.size());
+
+    ServerConfig config;
+    config.workers = 4;
+    config.queue_capacity = 64;
+    Server server(engine, config);
+    bench::require_ok(server.start());
+    std::printf("# dlapd on 127.0.0.1:%d (4 workers)\n", server.port());
+
+    // ------------------------------------------------- phase 1: steady QPS
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 500;
+    const auto t0 = Clock::now();
+    FireResult steady =
+        fire_concurrent(server.port(), probes, kThreads, kPerThread);
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    const double qps = static_cast<double>(steady.requests) / seconds;
+    const double p50 = quantile(steady.latencies_us, 0.5);
+    const double p99 = quantile(steady.latencies_us, 0.99);
+    std::printf("# steady: %llu requests in %.3f s -> %.0f qps, "
+                "p50 %.1f us, p99 %.1f us, mismatches %llu\n",
+                static_cast<unsigned long long>(steady.requests), seconds,
+                qps, p50, p99,
+                static_cast<unsigned long long>(steady.mismatches));
+    const bool gate_steady = steady.mismatches == 0;
+
+    // ------------------------------------------- phase 2: reload under fire
+    std::vector<std::thread> pool;
+    std::vector<FireResult> reload_fire(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        reload_fire[static_cast<std::size_t>(t)] =
+            fire(server.port(), probes, 300, static_cast<std::size_t>(t));
+      });
+    }
+    int reloads = 0;
+    bool reload_ok = true;
+    {
+      HttpClient admin("127.0.0.1", server.port());
+      while (reloads < 6) {
+        const std::uint64_t done = server.stats().reloads_completed +
+                                   server.stats().reloads_failed;
+        const auto response =
+            admin.request("POST", "/v1/admin/reload", "{}");
+        if (!response.has_value() || response->status != 202) {
+          reload_ok = false;
+          break;
+        }
+        ++reloads;
+        if (!eventually([&] {
+              return server.stats().reloads_completed +
+                         server.stats().reloads_failed >
+                     done;
+            })) {
+          reload_ok = false;
+          break;
+        }
+      }
+    }
+    for (std::thread& thread : pool) thread.join();
+    std::uint64_t reload_requests = 0;
+    std::uint64_t reload_mismatches = 0;
+    for (const FireResult& r : reload_fire) {
+      reload_requests += r.requests;
+      reload_mismatches += r.mismatches;
+    }
+    const std::uint64_t reloads_completed = server.stats().reloads_completed;
+    const std::uint64_t reloads_failed = server.stats().reloads_failed;
+    std::printf("# reload: %d reloads (%llu completed, %llu failed) under "
+                "%llu requests, mismatches %llu\n",
+                reloads, static_cast<unsigned long long>(reloads_completed),
+                static_cast<unsigned long long>(reloads_failed),
+                static_cast<unsigned long long>(reload_requests),
+                static_cast<unsigned long long>(reload_mismatches));
+    const bool gate_reload = reload_ok && reload_mismatches == 0 &&
+                             reloads_completed >= 1 && reloads_failed == 0;
+    server.stop();
+
+    // --------------------------------------------- phase 3: 2x overload
+    // A deliberately tiny server: 2 workers + 2 queue slots = 4 admitted
+    // connections; every wave offers 2x that. The slow route parks the
+    // workers so admission -- not service speed -- decides each wave.
+    ServerConfig tiny;
+    tiny.workers = 2;
+    tiny.queue_capacity = 2;
+    Server overloaded(engine, tiny);
+    overloaded.router().add(
+        "POST", "/v1/slow", [](const HttpRequest&) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          return Router::json_response(
+              200, Json::object().set("ok", Json::boolean(true)));
+        });
+    bench::require_ok(overloaded.start());
+
+    constexpr int kWaves = 6;
+    constexpr int kWaveSize = 2 * (2 + 2);  // 2x admission capacity
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> malformed{0};
+    for (int wave = 0; wave < kWaves; ++wave) {
+      std::vector<std::thread> surge;
+      for (int i = 0; i < kWaveSize; ++i) {
+        surge.emplace_back([&] {
+          // One-shot connection per request: admission is per connection.
+          HttpClient client("127.0.0.1", overloaded.port());
+          const auto response = client.request("POST", "/v1/slow", "{}");
+          if (!response.has_value()) {
+            ++malformed;  // unanswered connection = a hang bug
+          } else if (response->status == 200) {
+            ++served;
+          } else if ((response->status == 503 || response->status == 429) &&
+                     response->header("Retry-After") != nullptr) {
+            ++shed;
+          } else {
+            ++malformed;
+          }
+        });
+      }
+      for (std::thread& thread : surge) thread.join();
+    }
+    overloaded.stop();
+    const std::uint64_t offered = kWaves * kWaveSize;
+    const double shed_rate =
+        static_cast<double>(shed.load()) / static_cast<double>(offered);
+    std::printf("# overload: offered %llu at 2x capacity -> served %llu, "
+                "shed %llu (rate %.2f), malformed %llu\n",
+                static_cast<unsigned long long>(offered),
+                static_cast<unsigned long long>(served.load()),
+                static_cast<unsigned long long>(shed.load()), shed_rate,
+                static_cast<unsigned long long>(malformed.load()));
+    const bool gate_overload =
+        malformed.load() == 0 && served.load() >= 1 && shed.load() >= 1 &&
+        served.load() + shed.load() == offered;
+
+    // ------------------------------------------------------------- report
+    out.set("requests", static_cast<index_t>(steady.requests));
+    out.set("qps", qps);
+    out.set("p50_us", p50);
+    out.set("p99_us", p99);
+    out.set("reloads_completed", static_cast<index_t>(reloads_completed));
+    out.set("reload_requests", static_cast<index_t>(reload_requests));
+    out.set("reload_mismatches", static_cast<index_t>(reload_mismatches));
+    out.set("overload_offered", static_cast<index_t>(offered));
+    out.set("overload_served", static_cast<index_t>(served.load()));
+    out.set("overload_shed", static_cast<index_t>(shed.load()));
+    out.set("shed_rate", shed_rate);
+    out.set("gate_bit_identical", gate_steady);
+    out.set("gate_reload_zero_torn", gate_reload);
+    out.set("gate_overload_answered", gate_overload);
+    pass = gate_steady && gate_reload && gate_overload;
+    out.set("pass", pass);
+  }
+
+  fs::remove_all(repo);
+  out.write("BENCH_server.json");
+  if (!pass) {
+    std::fprintf(stderr, "micro_server: GATE FAILURE\n");
+    return 1;
+  }
+  std::printf("# all gates passed\n");
+  return 0;
+}

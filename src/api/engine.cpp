@@ -617,6 +617,33 @@ Status Engine::prepare(const std::vector<OperationSpec>& specs,
   }
 }
 
+Status Engine::reload(const std::vector<OperationSpec>& specs,
+                      std::optional<SystemSpec> system,
+                      PrepareReport* report) noexcept {
+  try {
+    service_.reload_container();
+  } catch (const std::exception& e) {
+    // Corrupt/unreadable container file: serving continues on the
+    // previous attachment, but the operator must know the swap failed.
+    return Status::error(StatusCode::InternalError,
+                         std::string("Engine::reload: ") + e.what());
+  }
+  try {
+    {
+      std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+      for (auto& slot : cache_) slot.reset();
+      // Same-lock bump as resolve(): every ResolvedSlots snapshot
+      // stamped before this expires, so the next query per sweep point
+      // re-resolves against the reloaded repository.
+      model_version_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    if (!specs.empty()) return prepare(specs, system, report);
+    return {};
+  } catch (const std::exception& e) {
+    return internal_error("Engine::reload", e);
+  }
+}
+
 index_t PrepareReport::keys_generated() const noexcept {
   index_t n = 0;
   for (const Key& k : keys) n += k.generated ? 1 : 0;

@@ -175,6 +175,23 @@ class Engine {
                                std::optional<SystemSpec> system = {},
                                PrepareReport* report = nullptr) noexcept;
 
+  // ------------------------------------------------------------ reload
+
+  /// Hot model reload, the dlapd admin path: re-attaches the service's
+  /// binary container (picking up a repository.dlapc replaced on disk),
+  /// drops the engine's model cache and expires every compiled-trace
+  /// snapshot (version bump), then -- when `specs` is non-empty --
+  /// regenerates/loads the models those specs need (Engine::prepare).
+  /// Concurrent queries are never stalled: in-flight predictions finish
+  /// on the model snapshots they pinned, later queries re-resolve from
+  /// the reloaded repository. A query racing the reload may briefly
+  /// re-publish its pinned pre-reload model into the engine cache; the
+  /// version bump makes the next resolve of that key re-check coverage,
+  /// and a subsequent prepare/regeneration supersedes it.
+  [[nodiscard]] Status reload(const std::vector<OperationSpec>& specs = {},
+                              std::optional<SystemSpec> system = {},
+                              PrepareReport* report = nullptr) noexcept;
+
   // ----------------------------------------------------- observability
 
   /// Resolver keys interned so far.

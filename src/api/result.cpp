@@ -15,6 +15,20 @@ const char* status_code_name(StatusCode code) {
   return "UNKNOWN";
 }
 
+std::optional<StatusCode> status_code_from_name(std::string_view name) {
+  for (const StatusHttpMapping& row : kStatusHttpTable) {
+    if (name == status_code_name(row.code)) return row.code;
+  }
+  return std::nullopt;
+}
+
+int http_status_for(StatusCode code) {
+  for (const StatusHttpMapping& row : kStatusHttpTable) {
+    if (row.code == code) return row.http_status;
+  }
+  return 500;  // unreachable while the table stays total (tested)
+}
+
 std::string Status::to_string() const {
   if (ok()) return "OK";
   std::string out = status_code_name(code);

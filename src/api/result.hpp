@@ -11,6 +11,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/types.hpp"
@@ -37,6 +38,36 @@ enum class StatusCode : int {
 };
 
 [[nodiscard]] const char* status_code_name(StatusCode code);
+
+/// Inverse of status_code_name (nullopt for unknown names), so wire
+/// protocols can round-trip codes through their textual form.
+[[nodiscard]] std::optional<StatusCode> status_code_from_name(
+    std::string_view name);
+
+/// One row of the Status -> HTTP mapping. kStatusHttpTable is the single
+/// source of truth the server layer renders responses from: every
+/// StatusCode has exactly one row (enforced by a round-trip test), so a
+/// typed failure like MissingModel or ParseError can never silently
+/// collapse to a generic 500.
+struct StatusHttpMapping {
+  StatusCode code;
+  int http_status;
+};
+
+inline constexpr StatusHttpMapping kStatusHttpTable[] = {
+    {StatusCode::Ok, 200},
+    {StatusCode::InvalidQuery, 422},      // well-formed but unsatisfiable
+    {StatusCode::ParseError, 400},        // malformed request content
+    {StatusCode::MissingModel, 404},      // no model for a needed key
+    {StatusCode::UncoveredDomain, 422},   // model exists, domain too small
+    {StatusCode::GenerationFailed, 503},  // transient: retry may succeed
+    {StatusCode::InternalError, 500},
+};
+
+/// HTTP status for a StatusCode, via kStatusHttpTable. Only
+/// InternalError (and a code missing from the table, which the round-trip
+/// test rules out) maps to 500.
+[[nodiscard]] int http_status_for(StatusCode code);
 
 /// Outcome of an engine operation: a code plus a human-readable
 /// diagnostic. Default-constructed Status is Ok.

@@ -1,0 +1,79 @@
+#include "server/admission.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dlap::server {
+
+ClockFn steady_clock_fn() {
+  return [] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+}
+
+TokenBucketLimiter::TokenBucketLimiter(RateLimitConfig config, ClockFn clock)
+    : config_(config), clock_(std::move(clock)) {
+  DLAP_REQUIRE(config_.requests_per_second >= 0.0,
+               "rate limit must be nonnegative");
+  DLAP_REQUIRE(config_.requests_per_second == 0.0 || config_.burst >= 1.0,
+               "burst must allow at least one request");
+  DLAP_REQUIRE(config_.max_tracked_clients >= 1, "must track some client");
+  if (!clock_) clock_ = steady_clock_fn();
+}
+
+double TokenBucketLimiter::filled(const Bucket& bucket,
+                                  std::uint64_t now_ns) const {
+  const double elapsed_s =
+      static_cast<double>(now_ns - bucket.refreshed_ns) * 1e-9;
+  return std::min(config_.burst,
+                  bucket.tokens + elapsed_s * config_.requests_per_second);
+}
+
+RateDecision TokenBucketLimiter::admit(std::string_view client) {
+  if (config_.requests_per_second <= 0.0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++allowed_;
+    return {};
+  }
+  const std::uint64_t now = clock_();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(client);
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= config_.max_tracked_clients) {
+      // Evict the fullest bucket: it belongs to the most idle client,
+      // who loses nothing but an already-full allowance.
+      auto fullest = buckets_.begin();
+      double fullest_tokens = -1.0;
+      for (auto b = buckets_.begin(); b != buckets_.end(); ++b) {
+        const double tokens = filled(b->second, now);
+        if (tokens > fullest_tokens) {
+          fullest_tokens = tokens;
+          fullest = b;
+        }
+      }
+      buckets_.erase(fullest);
+    }
+    it = buckets_.emplace(std::string(client), Bucket{config_.burst, now})
+             .first;
+  }
+  Bucket& bucket = it->second;
+  bucket.tokens = filled(bucket, now);
+  bucket.refreshed_ns = now;
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    ++allowed_;
+    return {};
+  }
+  ++limited_;
+  return {false, (1.0 - bucket.tokens) / config_.requests_per_second};
+}
+
+TokenBucketLimiter::Stats TokenBucketLimiter::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {allowed_, limited_, buckets_.size()};
+}
+
+}  // namespace dlap::server

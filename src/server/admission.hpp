@@ -1,0 +1,170 @@
+#pragma once
+// Admission control for the dlapd daemon: a per-client token-bucket rate
+// limiter and a bounded connection queue.
+//
+// Both are plain classes with no I/O: the limiter takes an injectable
+// monotonic clock (tests drive a fake one, so refill behavior is exact
+// and sleep-free), and the queue is a condition-variable bounded MPMC
+// queue whose try_push returns false instead of blocking -- the accept
+// loop turns that false into an immediate 503 + Retry-After, which is
+// the server's graceful-shedding contract: an overloaded daemon answers
+// fast, it never hangs a connection.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace dlap::server {
+
+/// Monotonic clock in nanoseconds. Injectable so rate-limiter and queue
+/// tests are deterministic (no sleeps, no wall-clock flakiness).
+using ClockFn = std::function<std::uint64_t()>;
+
+/// std::chrono::steady_clock as a ClockFn (the production default).
+[[nodiscard]] ClockFn steady_clock_fn();
+
+struct RateLimitConfig {
+  /// Sustained tokens (requests) per second per client; 0 disables
+  /// limiting entirely (every admit() allows).
+  double requests_per_second = 0.0;
+  /// Bucket capacity: how many requests a client may burst after idling.
+  double burst = 32.0;
+  /// Distinct clients tracked; beyond this the fullest (most idle)
+  /// bucket is evicted, so an address-spraying client cannot grow the
+  /// map without bound.
+  std::size_t max_tracked_clients = 4096;
+};
+
+struct RateDecision {
+  bool allowed = true;
+  /// When denied: seconds until one token is available (the response's
+  /// Retry-After, rounded up by the caller).
+  double retry_after_seconds = 0.0;
+};
+
+class TokenBucketLimiter {
+ public:
+  TokenBucketLimiter(RateLimitConfig config, ClockFn clock);
+
+  /// Takes one token from `client`'s bucket (creating it full on first
+  /// sight). Thread-safe.
+  [[nodiscard]] RateDecision admit(std::string_view client);
+
+  struct Stats {
+    std::uint64_t allowed = 0;
+    std::uint64_t limited = 0;
+    std::size_t tracked_clients = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    std::uint64_t refreshed_ns = 0;
+  };
+
+  /// Bucket contents at `now` (lazy refill).
+  [[nodiscard]] double filled(const Bucket& bucket,
+                              std::uint64_t now_ns) const;
+
+  RateLimitConfig config_;
+  ClockFn clock_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Bucket, std::less<>> buckets_;
+  std::uint64_t allowed_ = 0;
+  std::uint64_t limited_ = 0;
+};
+
+/// Bounded MPMC queue: producers shed instead of blocking, consumers
+/// block until an item arrives or the queue is closed (remaining items
+/// are drained first, so queued connections still get answered during
+/// shutdown).
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when full or closed (the caller sheds).
+  [[nodiscard]] bool try_push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) {
+        ++shed_;
+        return false;
+      }
+      items_.push_back(std::move(value));
+      ++pushed_;
+      peak_ = std::max(peak_, items_.size());
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (returned) or the queue is closed
+  /// AND empty (nullopt).
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    return take_locked();
+  }
+
+  /// Non-blocking pop (single-threaded tests).
+  [[nodiscard]] std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return take_locked();
+  }
+
+  /// Stops accepting pushes and wakes every blocked pop.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  struct Stats {
+    std::uint64_t pushed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t popped = 0;
+    std::size_t depth = 0;
+    std::size_t peak = 0;
+    std::size_t capacity = 0;
+    bool closed = false;
+  };
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {pushed_, shed_, popped_, items_.size(), peak_, capacity_,
+            closed_};
+  }
+
+ private:
+  [[nodiscard]] std::optional<T> take_locked() {
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    ++popped_;
+    return value;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t popped_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace dlap::server

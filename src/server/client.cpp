@@ -1,0 +1,183 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace dlap::server {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* ClientResponse::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+HttpClient::HttpClient(std::string host, int port, int timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {
+  if (host_ == "localhost") host_ = "127.0.0.1";
+}
+
+HttpClient::~HttpClient() { disconnect(); }
+
+void HttpClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool HttpClient::connect() {
+  disconnect();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  if (timeout_ms_ > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms_ / 1000;
+    tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool HttpClient::send_request(const std::string& wire) {
+  std::string_view rest = wire;
+  while (!rest.empty()) {
+    const ssize_t n = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    rest.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::optional<ClientResponse> HttpClient::read_response() {
+  // Read until the header block is complete, then exactly Content-Length
+  // body bytes (the server always emits Content-Length framing).
+  char chunk[8192];
+  std::size_t header_end = std::string::npos;
+  while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return std::nullopt;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  ClientResponse response;
+  std::string_view head(buffer_.data(), header_end);
+  const std::size_t line_end = head.find("\r\n");
+  std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const std::size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos) return std::nullopt;
+  response.status =
+      std::atoi(std::string(status_line.substr(sp1 + 1, 3)).c_str());
+
+  std::size_t content_length = 0;
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string_view name = line.substr(0, colon);
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    response.headers.emplace_back(std::string(name), std::string(value));
+    if (iequals(name, "Content-Length")) {
+      content_length = static_cast<std::size_t>(
+          std::strtoull(std::string(value).c_str(), nullptr, 10));
+    }
+  }
+
+  const std::size_t body_begin = header_end + 4;
+  while (buffer_.size() < body_begin + content_length) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return std::nullopt;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  response.body = buffer_.substr(body_begin, content_length);
+  // Keep pipelined read-ahead (none in practice; the client is
+  // strictly request/response) and drop the consumed response.
+  buffer_.erase(0, body_begin + content_length);
+
+  const std::string* connection = response.header("Connection");
+  if (connection != nullptr && iequals(*connection, "close")) disconnect();
+  return response;
+}
+
+std::optional<ClientResponse> HttpClient::request(
+    const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: " + host_ + "\r\n";
+  for (const auto& [name, value] : headers) {
+    wire += name + ": " + value + "\r\n";
+  }
+  wire += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  wire += body;
+
+  // One reconnect: a server that closed the keep-alive connection (cap
+  // reached, restart) looks like a fresh connect, not a failure.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (fd_ < 0 && !connect()) continue;
+    if (!send_request(wire)) {
+      disconnect();
+      continue;
+    }
+    auto response = read_response();
+    if (response) return response;
+    disconnect();
+  }
+  return std::nullopt;
+}
+
+}  // namespace dlap::server

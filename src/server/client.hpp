@@ -1,0 +1,62 @@
+#pragma once
+// Minimal blocking HTTP/1.1 client for driving a dlapd server over
+// loopback -- the integration tests and bench/micro_server use it, and
+// it doubles as the transport behind `dlapd --check`-style probes.
+//
+// One HttpClient is one keep-alive connection: request() serializes the
+// request, writes it, and parses exactly one response (Content-Length
+// framing only -- that is all the server emits). When the server closed
+// the connection between requests the client reconnects once, so a
+// keep-alive cap or a stop/start across calls is invisible to the
+// caller. Not thread-safe; each test/bench thread owns its own client.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dlap::server {
+
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with the given name (case-insensitive), else nullptr.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, int port, int timeout_ms = 10000);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One round trip; nullopt on connect/write/read failure (after one
+  /// reconnect attempt). `headers` are extra request headers
+  /// (e.g. {"X-Client-Id","bench-3"}).
+  [[nodiscard]] std::optional<ClientResponse> request(
+      const std::string& method, const std::string& target,
+      const std::string& body = "",
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  /// Drops the connection (the next request reconnects).
+  void disconnect();
+
+ private:
+  [[nodiscard]] bool connect();
+  [[nodiscard]] bool send_request(const std::string& wire);
+  [[nodiscard]] std::optional<ClientResponse> read_response();
+
+  std::string host_;
+  int port_;
+  int timeout_ms_;
+  int fd_ = -1;
+  std::string buffer_;  // read-ahead beyond the current response
+};
+
+}  // namespace dlap::server

@@ -1,0 +1,123 @@
+#pragma once
+// Minimal HTTP/1.1 codec for the dlapd query daemon (src/server/).
+//
+// The parser is a plain incremental state machine: feed() consumes bytes
+// as they arrive off a socket (in any fragmentation -- byte-by-byte in
+// the tests) and stops exactly at the end of one request, leaving
+// pipelined bytes unconsumed for the next parse. It performs no I/O and
+// allocates only into the request being built, so the whole codec is
+// testable without sockets. Every malformed input maps to a specific
+// HTTP error status (400/408-free here; 413/414/431/501/505 as
+// appropriate) instead of an exception: a daemon must answer garbage
+// with a response, never unwind a worker.
+//
+// Deliberately unsupported (fail typed, never hang): chunked
+// transfer-encoding (501), obs-fold header continuation (400), HTTP
+// versions other than 1.0/1.1 (505).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dlap::server {
+
+/// Input-size bounds enforced while parsing (shedding oversized requests
+/// early, before they occupy memory).
+struct HttpLimits {
+  std::size_t max_request_line = 8 * 1024;   ///< method + target + version
+  std::size_t max_header_bytes = 16 * 1024;  ///< all header lines together
+  std::size_t max_headers = 100;             ///< header count
+  std::size_t max_body = 1 << 20;            ///< Content-Length bound
+};
+
+struct HttpRequest {
+  std::string method;   ///< e.g. "POST" (kept as sent; matching is exact)
+  std::string target;   ///< e.g. "/v1/predict"
+  std::string version;  ///< "HTTP/1.1" or "HTTP/1.0"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with the given name (case-insensitive), else nullptr.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+
+  /// HTTP/1.1 defaults to keep-alive unless "Connection: close";
+  /// HTTP/1.0 defaults to close unless "Connection: keep-alive".
+  [[nodiscard]] bool keep_alive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  void set_header(std::string name, std::string value);
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+
+  /// Full wire form; a Content-Length header is added unless already set.
+  [[nodiscard]] std::string serialize() const;
+};
+
+/// Reason phrase for the status codes the daemon emits ("Status" for
+/// anything else -- clients key on the code, not the phrase).
+[[nodiscard]] const char* reason_phrase(int status);
+
+class HttpParser {
+ public:
+  enum class State { RequestLine, Headers, Body, Complete, Error };
+
+  explicit HttpParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Consumes bytes until the request completes, an error is detected, or
+  /// `data` runs out; returns how many bytes were consumed. After
+  /// Complete, unconsumed bytes belong to the NEXT pipelined request.
+  std::size_t feed(std::string_view data);
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] bool complete() const noexcept {
+    return state_ == State::Complete;
+  }
+  [[nodiscard]] bool failed() const noexcept { return state_ == State::Error; }
+
+  /// Total bytes consumed so far (0 distinguishes an idle keep-alive
+  /// connection from one that died mid-request).
+  [[nodiscard]] std::size_t bytes_consumed() const noexcept {
+    return bytes_consumed_;
+  }
+
+  /// HTTP status to answer with when failed() (400, 413, 414, 431, 501
+  /// or 505), plus a human-readable reason.
+  [[nodiscard]] int error_status() const noexcept { return error_status_; }
+  [[nodiscard]] const std::string& error_message() const noexcept {
+    return error_message_;
+  }
+
+  /// The parsed request; meaningful once complete().
+  [[nodiscard]] const HttpRequest& request() const noexcept {
+    return request_;
+  }
+
+  /// Back to a fresh RequestLine state (next request on a connection).
+  void reset();
+
+ private:
+  void fail(int status, std::string message);
+  void on_request_line();
+  void on_header_line();
+  void finish_headers();
+
+  HttpLimits limits_;
+  State state_ = State::RequestLine;
+  HttpRequest request_;
+  std::string line_;  // current, still-unterminated line
+  std::size_t header_bytes_ = 0;
+  std::size_t body_needed_ = 0;
+  std::size_t bytes_consumed_ = 0;
+  int error_status_ = 0;
+  std::string error_message_;
+};
+
+}  // namespace dlap::server

@@ -39,6 +39,23 @@ ModelService::ModelService(ServiceConfig config)
   }
 }
 
+bool ModelService::reload_container() {
+  const std::filesystem::path path =
+      config_.container_path.empty()
+          ? config_.repository_dir / storage::kContainerFilename
+          : config_.container_path;
+  std::shared_ptr<const storage::ContainerReader> reader;
+  if (std::filesystem::exists(path)) {
+    // Opens (and validates) BEFORE detaching anything: a corrupt file
+    // throws here and the previous attachment keeps serving.
+    reader = storage::ContainerReader::open(path);
+  }
+  repo_.attach_container(reader);
+  samples_.attach_container(reader);
+  repo_.invalidate_cache();
+  return reader != nullptr;
+}
+
 ModelKey ModelService::key_for(const ModelJob& job) {
   // Registry specs and backend names coincide for every built-in backend
   // ("blocked", "packed@8", ...), so the spec doubles as the key's

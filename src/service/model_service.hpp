@@ -133,6 +133,16 @@ class ModelService {
   /// The repository key a job resolves to.
   [[nodiscard]] static ModelKey key_for(const ModelJob& job);
 
+  /// Hot-reloads the binary container layer: re-opens the configured
+  /// .dlapc path (or the repository's auto-detected repository.dlapc),
+  /// attaches it beneath the repository and the sample store, and drops
+  /// the repository's in-memory model cache so subsequent lookups see the
+  /// new file. A missing file detaches the layer. Returns true when a
+  /// container is attached after the call. Throws (container_error) when
+  /// the file exists but is corrupt -- the previously attached container
+  /// stays in place, so a failed reload never degrades serving.
+  bool reload_container();
+
   /// Generates models for all jobs, fanned out across the pool with one
   /// task per distinct key (duplicate keys are generated once); results
   /// come back in job order and are stored in the repository. Jobs whose

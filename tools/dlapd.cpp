@@ -1,0 +1,128 @@
+// dlapd -- the dlap performance-model query daemon.
+//
+//   dlapd --repo dlaperf_models [--host 127.0.0.1] [--port 8377]
+//         [--workers N] [--conn-workers N] [--queue N]
+//         [--rate R --burst B] [--timeout-ms MS] [--no-generate]
+//
+// Serves the engine's typed queries over HTTP+JSON:
+//
+//   curl -s localhost:8377/v1/predict -d '{"op":"sylv","m":144,"n":112}'
+//   curl -s localhost:8377/v1/rank -d '{"candidates":[...]}'
+//   curl -s localhost:8377/v1/tune -d '{"op":"chol","n":512}'
+//   curl -s localhost:8377/v1/stats
+//   curl -s -X POST localhost:8377/v1/admin/reload -d '{}'
+//
+// The reload endpoint re-attaches <repo>/repository.dlapc, so models
+// regenerated offline (dlap_pack pack) go live without a restart and
+// without stalling in-flight queries. SIGINT/SIGTERM shut down
+// gracefully: queued connections are answered, then the process exits.
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "server/server.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: dlapd [options]\n"
+         "  --repo DIR         model repository directory "
+         "(default dlaperf_models)\n"
+         "  --host ADDR        bind address (default 127.0.0.1)\n"
+         "  --port N           port; 0 picks an ephemeral one "
+         "(default 8377)\n"
+         "  --workers N        engine generation workers (default: cores)\n"
+         "  --conn-workers N   HTTP connection workers (default 4)\n"
+         "  --queue N          pending-connection queue capacity "
+         "(default 64)\n"
+         "  --rate R           per-client requests/second; 0 disables "
+         "(default 0)\n"
+         "  --burst B          per-client burst size (default 32)\n"
+         "  --timeout-ms MS    socket I/O timeout (default 5000)\n"
+         "  --no-generate      fail queries needing missing models "
+         "instead of generating\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dlap::EngineConfig engine_config;
+  dlapd::ServerConfig server_config;
+  server_config.port = 8377;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--repo" && has_value) {
+      engine_config.service.repository_dir = argv[++i];
+    } else if (arg == "--host" && has_value) {
+      server_config.host = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      server_config.port = std::atoi(argv[++i]);
+    } else if (arg == "--workers" && has_value) {
+      engine_config.service.workers = std::atoll(argv[++i]);
+    } else if (arg == "--conn-workers" && has_value) {
+      server_config.workers = std::atoll(argv[++i]);
+    } else if (arg == "--queue" && has_value) {
+      server_config.queue_capacity =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--rate" && has_value) {
+      server_config.rate.requests_per_second = std::atof(argv[++i]);
+    } else if (arg == "--burst" && has_value) {
+      server_config.rate.burst = std::atof(argv[++i]);
+    } else if (arg == "--timeout-ms" && has_value) {
+      server_config.io_timeout_ms = std::atoi(argv[++i]);
+    } else if (arg == "--no-generate") {
+      engine_config.generate_missing = false;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else {
+      std::cerr << "dlapd: unknown or incomplete option '" << arg << "'\n";
+      return usage();
+    }
+  }
+
+  // Block the shutdown signals BEFORE any thread spawns, so every server
+  // thread inherits the mask and sigwait below is the only consumer.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  try {
+    dlap::Engine engine(engine_config);
+    dlapd::Server server(engine, server_config);
+    const dlap::Status started = server.start();
+    if (!started.ok()) {
+      std::cerr << "dlapd: " << started.to_string() << '\n';
+      return 1;
+    }
+    std::cout << "dlapd: serving " << server.config().host << ":"
+              << server.port() << " (repo "
+              << engine.config().service.repository_dir.string()
+              << ", conn workers " << server.config().workers << ", queue "
+              << server.config().queue_capacity << ")" << std::endl;
+
+    int signal_number = 0;
+    sigwait(&signals, &signal_number);
+    std::cout << "dlapd: signal " << signal_number
+              << ", shutting down" << std::endl;
+    server.stop();
+
+    const dlapd::ServerStats stats = server.stats();
+    std::cout << "dlapd: served " << stats.requests << " requests ("
+              << stats.responses_2xx << " ok, " << stats.responses_4xx
+              << " client errors, " << stats.responses_5xx
+              << " server errors), shed " << stats.shed_queue_full
+              << ", rate-limited " << stats.rate_limited << std::endl;
+  } catch (const std::exception& e) {
+    std::cerr << "dlapd: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
